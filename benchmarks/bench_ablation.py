@@ -1,0 +1,90 @@
+"""Benchmark: ablations of the design choices DESIGN.md calls out."""
+
+from conftest import run_once
+
+from repro.experiments import ablation
+
+
+def test_uncleanliness_tail_ablation(benchmark):
+    rows = run_once(benchmark, ablation.uncleanliness_tail_ablation)
+    print()
+    print(ablation.format_rows(
+        "Ablation: uncleanliness tail (Beta alpha) vs. spatial clustering", rows
+    ))
+    # Heavier tail (smaller alpha) -> stronger clustering.
+    assert rows[0]["density_ratio@/24"] > rows[-1]["density_ratio@/24"]
+
+
+def test_report_age_ablation(benchmark):
+    rows = run_once(benchmark, ablation.report_age_ablation)
+    print()
+    print(ablation.format_rows(
+        "Ablation: bot-report age vs. temporal prediction", rows
+    ))
+    # Temporal uncleanliness: every report age predicts (the paper's
+    # five-month gap is the deliberately extreme case).
+    assert all(row["predictive_prefixes"] > 0 for row in rows)
+
+
+def test_evasion_ablation(benchmark):
+    rows = run_once(benchmark, ablation.evasion_ablation)
+    print()
+    print(ablation.format_rows(
+        "Ablation: blacklist-aware attackers vs. prediction", rows
+    ))
+    # Full evasion of the listed /24s guts fine-grained prediction...
+    assert rows[-1]["intersection@/24"] < 0.3 * max(rows[0]["intersection@/24"], 1)
+    # ...but the unclean /16s still leak: some predictive band survives.
+    assert rows[-1]["predictive_prefixes"] > 0
+    assert rows[-1]["intersection@/16"] >= 0.5 * rows[0]["intersection@/16"]
+
+
+def test_clustering_ablation(benchmark):
+    rows = run_once(benchmark, ablation.clustering_ablation)
+    print()
+    print(ablation.format_rows(
+        "Ablation: homogeneous /24 blocks vs network-aware clustering", rows
+    ))
+    # Bots cluster under every partitioning...
+    assert all(row["bots_cluster"] for row in rows)
+    # ...but heterogeneous partitions span orders of magnitude in size,
+    # the paper's reason for homogeneous blocks (§4.1).
+    spreads = [row["size_spread"] for row in rows if row["partitioning"].startswith("clusters(p=0.")]
+    assert any(spread not in ("1x",) for spread in spreads)
+
+
+def test_field_stability_ablation(benchmark):
+    rows = run_once(benchmark, ablation.field_stability_ablation)
+    print()
+    print(ablation.format_rows(
+        "Ablation: uncleanliness-field stability (the temporal mechanism)", rows
+    ))
+    # Spatial clustering survives any stability (dirt always clusters
+    # somewhere)...
+    assert all(row["spatial_holds"] is True for row in rows)
+    # ...but temporal prediction needs field memory: a frozen field keeps
+    # the full band, a memoryless one loses (almost) all of it.
+    assert rows[0]["predictive_prefixes"] > 3 * max(rows[-1]["predictive_prefixes"], 1)
+
+
+def test_estimator_ablation(benchmark, scenario):
+    rows = run_once(benchmark, ablation.estimator_ablation, scenario)
+    print()
+    print(ablation.format_rows(
+        "Ablation: naive vs. empirical control estimation (full scale)", rows
+    ))
+    # The naive estimate always inflates the apparent density gap.
+    for row in rows:
+        assert row["gap_vs_naive"] >= row["gap_vs_empirical"]
+
+
+def test_prefix_band_ablation(benchmark, scenario):
+    rows = run_once(benchmark, ablation.prefix_band_ablation, scenario)
+    print()
+    print(ablation.format_rows(
+        "Ablation: predictor quality across the prefix band (full scale)", rows
+    ))
+    # The mid band wins; the extreme short end is not uniformly better.
+    winners = [row["prefix"] for row in rows if row["better_predictor"]]
+    assert winners, "no predictive prefixes at all"
+    assert any(20 <= n <= 24 for n in winners)

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 2 (density estimation techniques)."""
+
+from conftest import BENCH_SUBSETS, run_once
+
+from repro.experiments import figure2
+
+
+def test_figure2(benchmark, scenario, bench_rng):
+    result = run_once(
+        benchmark,
+        figure2.run,
+        scenario,
+        bench_rng,
+        subsets=BENCH_SUBSETS,
+        naive_subsets=20,
+    )
+    print()
+    print(figure2.format_result(result))
+
+    # Paper shape: naive estimate far above the empirical one, doubling
+    # per added bit while saturated; the bot report denser than both.
+    assert result.naive_overdisperses()
+    assert result.naive_doubles_per_bit()
+    assert result.bot_densest()
+    # The naive/empirical gap is large at short prefixes (Kohler et al.:
+    # real addresses are far from uniform).
+    density = result.density
+    assert density.naive[16].median > 3 * density.control[16].median

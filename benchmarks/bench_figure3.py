@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 3 (comparative density, four classes)."""
+
+from conftest import BENCH_SUBSETS, run_once
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark, scenario, bench_rng):
+    result = run_once(
+        benchmark, figure3.run, scenario, bench_rng, subsets=BENCH_SUBSETS
+    )
+    print()
+    print(figure3.format_result(result))
+
+    # Paper shape: every unclean class is at least as dense as control at
+    # every prefix length in [16, 32] (Eq. 3).
+    assert result.all_hold()
+    # And the advantage is substantial in the operative mid band.
+    for tag, panel in result.panels.items():
+        assert panel.density_ratio(20) > 1.3, tag

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 4 (predictive capacity of R_bot-test)."""
+
+from conftest import BENCH_SUBSETS, run_once
+
+from repro.experiments import figure4
+
+
+def test_figure4(benchmark, scenario, bench_rng):
+    result = run_once(
+        benchmark, figure4.run, scenario, bench_rng, subsets=BENCH_SUBSETS
+    )
+    print()
+    print(figure4.format_result(result))
+
+    # Paper shape: the five-month-old bot report beats control for bots,
+    # spam and scan at the 95% level somewhere in [16, 32]...
+    assert result.bot_spam_scan_predicted()
+    # ...with the win covering the paper's operative region (>= 20 bits)...
+    for tag in ("bot", "spam", "scan"):
+        winners = result.panels[tag].predictive_prefixes()
+        assert any(20 <= n <= 24 for n in winners), tag
+    # ...but NOT for phishing (panel ii), the multidimensionality result.
+    assert result.phishing_not_predicted()

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 5 (phishing predicts phishing)."""
+
+from conftest import BENCH_SUBSETS, run_once
+
+from repro.experiments import figure5
+
+
+def test_figure5(benchmark, scenario, bench_rng):
+    result = run_once(
+        benchmark, figure5.run, scenario, bench_rng, subsets=BENCH_SUBSETS
+    )
+    print()
+    print(figure5.format_result(result))
+
+    # Paper shape: past phishing IS a better-than-control predictor of
+    # future phishing (temporal uncleanliness holds on its own dimension).
+    assert result.phishing_self_predicts()
+    low, high = result.prediction.predictive_range()
+    assert low <= 24 and high >= low

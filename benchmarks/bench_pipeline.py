@@ -1,0 +1,54 @@
+"""Benchmarks of the library's computational kernels.
+
+Unlike the experiment benchmarks (one-shot, assert paper shapes), these
+time the hot paths repeatedly so regressions in the analysis kernels are
+visible: CIDR masking over large reports, Monte-Carlo subset draws, the
+payload-bearing classifier, and the detectors over the October capture.
+"""
+
+import numpy as np
+
+from repro.core import cidr as rcidr
+from repro.detect.scan import ScanDetector
+from repro.detect.spam import SpamDetector
+
+
+def test_block_count_kernel(benchmark, scenario):
+    control = scenario.control
+    result = benchmark(lambda: rcidr.block_count(control, 24))
+    assert result > 0
+
+
+def test_intersection_kernel(benchmark, scenario):
+    bot, spam = scenario.bot, scenario.spam
+    result = benchmark(lambda: rcidr.intersection_count(bot, spam, 24))
+    assert result >= 0
+
+
+def test_control_subset_draw(benchmark, scenario):
+    rng = np.random.default_rng(1)
+    size = len(scenario.bot)
+    sample = benchmark(lambda: scenario.control.sample(size, rng))
+    assert len(sample) == size
+
+
+def test_payload_bearing_classifier(benchmark, scenario):
+    flows = scenario.october_traffic.flows
+    mask = benchmark(flows.payload_bearing_mask)
+    assert mask.shape == (len(flows),)
+
+
+def test_scan_detector_full_capture(benchmark, scenario):
+    flows = scenario.october_traffic.flows
+    detected = benchmark.pedantic(
+        lambda: ScanDetector().detect(flows), rounds=1, iterations=1
+    )
+    assert detected.size > 0
+
+
+def test_spam_detector_full_capture(benchmark, scenario):
+    flows = scenario.october_traffic.flows
+    detected = benchmark.pedantic(
+        lambda: SpamDetector().detect(flows), rounds=1, iterations=1
+    )
+    assert detected.size > 0

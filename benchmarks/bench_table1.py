@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 1 (the report inventory)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, scenario):
+    result = run_once(benchmark, table1.run, scenario)
+    print()
+    print(table1.format_result(result))
+
+    sizes = {row["tag"]: row["size"] for row in result.rows()}
+    # Shape: control >> bot > spam > scan; bot-test tiny; sizes non-zero.
+    assert result.size_ordering_matches()
+    assert all(size > 0 for size in sizes.values())
+    # The scan/bot and spam/bot ratios should be in the paper's ballpark
+    # (paper: 0.24 and 0.64).
+    assert 0.1 < sizes["scan"] / sizes["bot"] < 0.5
+    assert 0.4 < sizes["spam"] / sizes["bot"] < 0.9

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 2 (the prediction-test reports)."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, scenario):
+    result = run_once(benchmark, table2.run, scenario)
+    print()
+    print(table2.format_result(result))
+
+    # Paper shape: unknown (708) > hostile (287) >> innocent (35), and the
+    # blocked /24s are nearly idle (<2% of their space communicated; we
+    # allow 2x slack for simulator scale).
+    assert result.partition_shape_matches()
+    assert result.sparse_utilisation()

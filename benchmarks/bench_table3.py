@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 3 (TP/FP counts per prefix length)."""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, scenario):
+    result = run_once(benchmark, table3.run, scenario)
+    print()
+    print(table3.format_result(result))
+
+    # Paper shape: all columns weakly decrease with n; ~90% TP rate at
+    # /24 (97% counting unknowns hostile); FP gone at long prefixes.
+    assert result.monotone()
+    assert result.high_tp_rate(floor=0.80)
+    assert result.tp_rate_at_24_unknown_hostile() >= 0.90
+    assert result.fp_vanishes_at_long_prefixes()

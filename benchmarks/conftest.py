@@ -1,0 +1,35 @@
+"""Benchmark fixtures.
+
+The benchmark suite runs every experiment at full reproduction scale
+(~1/64 of the paper's data volumes).  Building the scenario takes tens of
+seconds, so it is constructed once per session and shared; each benchmark
+then times its own analysis and asserts the paper's shape claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scenario import PaperScenario, ScenarioConfig
+
+#: Monte-Carlo subsets for the density/prediction benchmarks.  The paper
+#: uses 1000; 200 keeps the suite under a few minutes while leaving the
+#: 95% criterion well resolved.
+BENCH_SUBSETS = 200
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """The full-scale paper scenario (built once)."""
+    return PaperScenario(ScenarioConfig())
+
+
+@pytest.fixture
+def bench_rng():
+    return np.random.default_rng(0xB0B)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once (experiments are too heavy to repeat)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Bake-off of the three scan-detection methods the paper's lineage uses.
+
+The paper's ``scan`` class cites the CERT threshold technique and two
+research detectors; this library implements all three:
+
+* the hourly fan-out **threshold** detector (Gates et al. TR);
+* **Threshold Random Walk** sequential hypothesis testing (Jung et al.);
+* a **logistic-regression** classifier over behavioural features
+  (Gates et al. ISCC'06), trained on a separate labelled fortnight.
+
+This example runs them against the same October border capture and
+scores each on precision/recall over the fast-scanner ground truth, plus
+how many *slow* scanners each catches (the population whose escape
+creates the paper's §6 unknown class).
+
+Run:  python examples/scan_detector_comparison.py
+"""
+
+import numpy as np
+
+from repro import PaperScenario, ScenarioConfig
+from repro.detect.logistic import LogisticScanModel
+from repro.detect.scan import ScanDetector
+from repro.detect.trw import TRWDetector
+from repro.flows.generator import TrafficGenerator
+from repro.sim.timeline import Window
+
+
+def score(name, detected, truth, slow, benign):
+    detected = set(detected.tolist())
+    hits = len(detected & truth)
+    precision = hits / len(detected) if detected else 0.0
+    recall = hits / len(truth) if truth else 0.0
+    return {
+        "detector": name,
+        "flagged": len(detected),
+        "recall(fast)": f"{recall:.0%}",
+        "precision-ish": f"{precision:.0%}",
+        "slow caught": len(detected & slow),
+        "benign flagged": len(detected & benign),
+    }
+
+
+def main() -> None:
+    scenario = PaperScenario(ScenarioConfig.small())
+    capture = scenario.october_traffic
+    flows = capture.flows
+    truth = set(capture.ground_truth("fast_scanners").tolist())
+    slow = set(capture.ground_truth("slow_scanners").tolist()) - truth
+    hostile = truth | slow | {
+        int(a)
+        for name in ("spammers", "ephemeral", "suspicious")
+        for a in capture.ground_truth(name)
+    }
+    benign = set(capture.ground_truth("benign").tolist()) - hostile
+    print(f"October capture: {len(flows)} flows; ground truth: "
+          f"{len(truth)} fast scanners, {len(slow)} slow scanners")
+    print()
+
+    # Train the logistic model on a DIFFERENT, earlier fortnight.
+    generator = TrafficGenerator(
+        scenario.internet, scenario.botnet, scenario.config.traffic
+    )
+    training = generator.generate(Window(220, 233), np.random.default_rng(77))
+    logistic = LogisticScanModel().fit_from_truth(
+        training.flows, training.ground_truth("fast_scanners")
+    )
+
+    rows = [
+        score("hourly threshold", ScanDetector().detect(flows), truth, slow, benign),
+        score("TRW", TRWDetector().detect(flows), truth, slow, benign),
+        score("logistic regression", logistic.detect(flows), truth, slow, benign),
+    ]
+    header = list(rows[0])
+    widths = {k: max(len(k), *(len(str(r[k])) for r in rows)) for k in header}
+    print("  ".join(k.ljust(widths[k]) for k in header))
+    for row in rows:
+        print("  ".join(str(row[k]).ljust(widths[k]) for k in header))
+    print()
+    print("learned coefficients (standardised):")
+    for row in logistic.coefficients():
+        print(f"  {row['feature']:>20}: {row['weight']:+.3f}")
+    print()
+    print("the hourly detector is precise but blind to slow scanners by")
+    print("construction; TRW and the logistic model catch failed-connection")
+    print("behaviour regardless of rate — which shrinks the §6 unknown class")
+    print("at the cost of flagging quiet probers the paper left uncertain.")
+
+
+if __name__ == "__main__":
+    main()

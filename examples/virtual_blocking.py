@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""The §6 virtual blocking experiment, end to end.
+
+Replays the paper's evaluation of predictive blocking: given a five-month
+-old report of 186 bot addresses, how well would blocking its /24s have
+worked against the two weeks of live border traffic in October?
+
+The script extracts the candidate set from the NetFlow capture, splits it
+into hostile / unknown / innocent exactly as §6.1 prescribes, sweeps the
+blocked prefix length from /24 to /32, and prints the resulting TP/FP
+table (the paper's Table 3) plus ROC operating points.
+
+Run:  python examples/virtual_blocking.py
+"""
+
+from repro import PaperScenario, ScenarioConfig
+from repro.core import cidr as rcidr
+from repro.flows.record import TCPFlags
+
+
+def main() -> None:
+    scenario = PaperScenario(ScenarioConfig.small())
+    flows = scenario.october_traffic.flows
+    print(f"October border capture: {len(flows)} flows, "
+          f"{flows.unique_sources().size} distinct external sources")
+    print(f"old bot report: {len(scenario.bot_test)} addresses "
+          f"({rcidr.block_count(scenario.bot_test, 24)} /24s) "
+          f"from {scenario.bot_test.period[0]}")
+    print()
+
+    # --- candidate extraction and partition (§6.1) ----------------------
+    part = scenario.partition
+    print("candidate partition (paper's Table 2 shape):")
+    for report in (part.candidate, part.hostile, part.unknown, part.innocent):
+        print(f"  {report.tag:>10}: {len(report):>5} addresses")
+    print()
+
+    # Peek at what the unknowns were doing — the paper hand-examined
+    # these and found slow scans and ephemeral-to-ephemeral probing.
+    unknown_flows = flows.from_sources(part.unknown.addresses)
+    syn_only = ((unknown_flows.tcp_flags & TCPFlags.ACK) == 0).mean()
+    eph_eph = (
+        (unknown_flows.src_port >= 1024) & (unknown_flows.dst_port >= 1024)
+    ).mean()
+    print(f"unknown-class behaviour: {syn_only:.0%} of their flows are "
+          f"SYN-only probes, {eph_eph:.0%} ephemeral-to-ephemeral")
+    print()
+
+    # --- the prefix sweep (Eqs. 7-9, Table 3) ----------------------------
+    result = scenario.blocking()
+    print(f"{'n':>3} {'TP(n)':>6} {'FP(n)':>6} {'pop(n)':>7} {'unknown':>8} "
+          f"{'tp_rate':>8} {'fp_rate':>8}")
+    for row in result.rows:
+        print(f"{row.prefix:>3} {row.true_positives:>6} "
+              f"{row.false_positives:>6} {row.population:>7} "
+              f"{row.unknown:>8} {row.tp_rate:>8.2f} {row.fp_rate:>8.2f}")
+    print()
+
+    row24 = result.row(24)
+    blocked24 = rcidr.block_count(scenario.bot_test, 24)
+    print(f"at /24: {row24.tp_rate:.0%} of scored candidates are hostile "
+          f"(paper: ~90%); {row24.tp_rate_assuming_unknown_hostile:.0%} "
+          f"counting unknowns as hostile (paper: 97%)")
+    print(f"blocking cost: {blocked24} /24s = {blocked24 * 256} addresses, "
+          f"of which only {len(part.candidate)} "
+          f"({len(part.candidate) / (blocked24 * 256):.1%}) ever "
+          f"communicated — blocking is nearly free")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Operating uncleanliness as a weekly loop.
+
+The paper scores one static snapshot; a deployment runs continuously.
+This example drives :class:`repro.core.tracking.UncleanlinessTracker`
+through twelve weeks of the simulated autumn: each week the new bot and
+spam evidence is folded into a TTL-managed /24 blocklist, stale entries
+age out, and the current list is scored against the NEXT week's ground
+truth — the honest, out-of-sample version of the paper's temporal claim.
+
+Run:  python examples/weekly_tracking.py
+"""
+
+import datetime
+
+from repro import PaperScenario, ScenarioConfig
+from repro.core.report import Report
+from repro.core.tracking import TrackerConfig, UncleanlinessTracker
+from repro.sim.timeline import Window, date_to_day
+
+START = date_to_day(datetime.date(2006, 8, 7))
+WEEKS = 12
+
+
+def week_window(index: int) -> Window:
+    return Window(START + 7 * index, START + 7 * index + 6)
+
+
+def main() -> None:
+    scenario = PaperScenario(ScenarioConfig.small())
+    tracker = UncleanlinessTracker(
+        TrackerConfig(ttl_days=45, listing_threshold=0.5)
+    )
+
+    print(f"{'week':>10} {'evidence':>9} {'active':>7} {'pruned':>7} "
+          f"{'next-week coverage':>19} {'collateral':>11}")
+    for index in range(WEEKS):
+        window = week_window(index)
+        bots = Report.from_addresses(
+            f"bots-w{index}", scenario.botnet.active_addresses(window)
+        )
+        spammers = Report.from_addresses(
+            f"spam-w{index}",
+            scenario.botnet.active_addresses(window, spammers_only=True),
+        )
+        snapshot = tracker.update(
+            window.end_day, {"bots": bots, "spam": spammers}
+        )
+
+        future = week_window(index + 1)
+        future_bots = Report.from_addresses(
+            "truth", scenario.botnet.active_addresses(future)
+        )
+        # Collateral: benign clients during the future week.
+        traffic = scenario.october_traffic
+        benign = Report.from_addresses(
+            "benign", traffic.ground_truth("benign")
+        )
+        result = tracker.evaluate(future.start_day, future_bots, benign)
+        start_date = window.dates()[0].isoformat()
+        print(f"{start_date:>10} {len(bots):>9} "
+              f"{snapshot['active_entries']:>7} {snapshot['pruned']:>7} "
+              f"{result['hostile_coverage']:>19.0%} "
+              f"{result['benign_collateral']:>11.1%}")
+
+    print()
+    print("the list tracks the botnet week over week: coverage stays high")
+    print("because unclean networks keep producing bots, while TTL expiry")
+    print("and score decay keep the list from growing without bound.")
+
+
+if __name__ == "__main__":
+    main()

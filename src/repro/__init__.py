@@ -1,0 +1,80 @@
+"""Reproduction of Collins et al., "Using uncleanliness to predict future
+botnet addresses" (IMC 2007).
+
+Quick start::
+
+    from repro import PaperScenario, ScenarioConfig, density_test, prediction_test
+    import numpy as np
+
+    scenario = PaperScenario(ScenarioConfig.small())
+    rng = np.random.default_rng(0)
+    spatial = density_test(scenario.bot, scenario.control, rng, subsets=100)
+    print(spatial.hypothesis_holds())
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: reports, CIDR analysis, the spatial and
+    temporal uncleanliness tests, the §6 blocking experiment, the §7
+    multidimensional metric, and the end-to-end scenario builder.
+``repro.ipspace``
+    IPv4 address arithmetic, CIDR blocks, IANA 2006 allocations,
+    reserved-space filtering.
+``repro.sim``
+    The synthetic Internet, botnet and phishing ecosystems.
+``repro.flows``
+    NetFlow V5 records, columnar flow logs, border traffic generation.
+``repro.detect``
+    Scan (fan-out and TRW), spam, bot-log and phishing-list detectors.
+``repro.experiments``
+    One module per paper table/figure, regenerating its rows/series.
+"""
+
+from repro.core import (
+    BETTER_PREDICTOR_LEVEL,
+    BLOCKING_PREFIXES,
+    PREFIX_RANGE,
+    BlockingResult,
+    BlockScores,
+    CandidatePartition,
+    DataClass,
+    DensityResult,
+    PaperScenario,
+    PredictionResult,
+    Report,
+    ReportType,
+    ScenarioConfig,
+    UncleanlinessScorer,
+    block_jaccard,
+    blocking_test,
+    density_test,
+    partition_candidates,
+    prediction_test,
+)
+from repro.ipspace import CIDRBlock
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Report",
+    "ReportType",
+    "DataClass",
+    "CIDRBlock",
+    "PREFIX_RANGE",
+    "BETTER_PREDICTOR_LEVEL",
+    "BLOCKING_PREFIXES",
+    "DensityResult",
+    "density_test",
+    "PredictionResult",
+    "prediction_test",
+    "BlockingResult",
+    "CandidatePartition",
+    "partition_candidates",
+    "blocking_test",
+    "UncleanlinessScorer",
+    "BlockScores",
+    "block_jaccard",
+    "PaperScenario",
+    "ScenarioConfig",
+]

@@ -1,0 +1,242 @@
+"""An operational CIDR blocklist with TTLs and evidence decay.
+
+The paper evaluates a *virtual* block of :math:`C_n(R_{bot-test})` over a
+fixed fortnight (§6).  Running that defence for real raises the questions
+every blocklist operator (Spamhaus ZEN, Bleeding Snort — the paper's §2
+examples) has to answer: how long does an entry stay listed, what happens
+when the same network is re-reported, and how does stale evidence age
+out?  :class:`Blocklist` packages those mechanics on top of the library's
+reports and scores:
+
+* entries are CIDR blocks with an insertion day, a time-to-live, and a
+  score;
+* re-reporting a listed block refreshes its TTL and raises its score
+  (evidence accumulates via the same noisy-OR as
+  :class:`~repro.core.uncleanliness.UncleanlinessScorer`);
+* scores decay exponentially between sightings, so a network that
+  cleans up ages off the list — the paper's temporal uncleanliness says
+  this decay should be *slow* (unclean networks stay unclean for months).
+
+All query methods take the current simulation day, so the structure works
+directly against :mod:`repro.sim.timeline` day indices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core import cidr as rcidr
+from repro.core.report import Report
+from repro.core.uncleanliness import BlockScores
+from repro.ipspace import cidr as lowcidr
+from repro.ipspace.addr import AddressLike, as_int
+from repro.ipspace.cidr import CIDRBlock
+
+__all__ = ["BlocklistEntry", "Blocklist"]
+
+
+@dataclass
+class BlocklistEntry:
+    """One listed CIDR block."""
+
+    block: CIDRBlock
+    added_day: int
+    last_seen_day: int
+    expiry_day: int
+    score: float
+    reason: str = ""
+
+    def active(self, day: int) -> bool:
+        """Whether the entry is still in force on ``day``."""
+        return day < self.expiry_day
+
+    def decayed_score(self, day: int, half_life_days: float) -> float:
+        """Score decayed by the time since the block was last re-reported."""
+        age = max(0, day - self.last_seen_day)
+        if half_life_days <= 0:
+            return self.score
+        return self.score * 0.5 ** (age / half_life_days)
+
+
+class Blocklist:
+    """A mutable, TTL-managed set of blocked CIDR blocks.
+
+    Parameters
+    ----------
+    prefix_len:
+        Granularity of the list; all entries share it (the paper's §6
+        result says 24 bits is the operative choice).
+    default_ttl_days:
+        Lifetime granted on insertion and refresh.
+    score_half_life_days:
+        Half-life of the evidence decay.  The paper's temporal
+        uncleanliness (months-long persistence) argues for a long one.
+    """
+
+    def __init__(
+        self,
+        prefix_len: int = 24,
+        default_ttl_days: int = 30,
+        score_half_life_days: float = 60.0,
+    ) -> None:
+        if not 0 <= prefix_len <= 32:
+            raise ValueError(f"prefix length out of range: {prefix_len}")
+        if default_ttl_days <= 0:
+            raise ValueError("default_ttl_days must be positive")
+        self.prefix_len = prefix_len
+        self.default_ttl_days = default_ttl_days
+        self.score_half_life_days = score_half_life_days
+        self._entries: Dict[int, BlocklistEntry] = {}
+
+    # -- mutation ----------------------------------------------------------
+
+    def add_block(
+        self,
+        block: CIDRBlock,
+        day: int,
+        score: float = 1.0,
+        ttl_days: Optional[int] = None,
+        reason: str = "",
+    ) -> BlocklistEntry:
+        """List (or refresh) one block.
+
+        Re-listing refreshes the TTL and accumulates score via noisy-OR:
+        ``new = 1 - (1 - old_decayed) * (1 - score)``.
+        """
+        if block.prefix_len != self.prefix_len:
+            raise ValueError(
+                f"entry prefix /{block.prefix_len} does not match "
+                f"blocklist granularity /{self.prefix_len}"
+            )
+        if not 0 <= score <= 1:
+            raise ValueError(f"score must be in [0, 1]: {score}")
+        ttl = self.default_ttl_days if ttl_days is None else ttl_days
+        existing = self._entries.get(block.network)
+        if existing is not None and existing.active(day):
+            decayed = existing.decayed_score(day, self.score_half_life_days)
+            existing.score = 1.0 - (1.0 - decayed) * (1.0 - score)
+            existing.last_seen_day = day
+            existing.expiry_day = max(existing.expiry_day, day + ttl)
+            if reason:
+                existing.reason = reason
+            return existing
+        entry = BlocklistEntry(
+            block=block,
+            added_day=day,
+            last_seen_day=day,
+            expiry_day=day + ttl,
+            score=score,
+            reason=reason,
+        )
+        self._entries[block.network] = entry
+        return entry
+
+    def add_report(
+        self,
+        report: Report,
+        day: int,
+        score: float = 1.0,
+        ttl_days: Optional[int] = None,
+    ) -> int:
+        """List every block the report's addresses touch; returns how many."""
+        networks = rcidr.cidr_set(report, self.prefix_len)
+        for network in networks:
+            self.add_block(
+                CIDRBlock(int(network), self.prefix_len),
+                day,
+                score=score,
+                ttl_days=ttl_days,
+                reason=f"report:{report.tag}",
+            )
+        return int(networks.size)
+
+    def add_scores(
+        self,
+        scores: BlockScores,
+        day: int,
+        threshold: float,
+        ttl_days: Optional[int] = None,
+    ) -> int:
+        """List every scored block at or above ``threshold``."""
+        if scores.prefix_len != self.prefix_len:
+            raise ValueError(
+                f"scores at /{scores.prefix_len} do not match "
+                f"blocklist granularity /{self.prefix_len}"
+            )
+        count = 0
+        for network, score in zip(scores.blocks, scores.scores):
+            if score >= threshold:
+                self.add_block(
+                    CIDRBlock(int(network), self.prefix_len),
+                    day,
+                    score=float(score),
+                    ttl_days=ttl_days,
+                    reason="scored",
+                )
+                count += 1
+        return count
+
+    def prune(self, day: int) -> int:
+        """Drop expired entries; returns how many were removed."""
+        expired = [net for net, e in self._entries.items() if not e.active(day)]
+        for net in expired:
+            del self._entries[net]
+        return len(expired)
+
+    def remove(self, block: CIDRBlock) -> bool:
+        """Delist one block (e.g. a verified false positive)."""
+        return self._entries.pop(block.network, None) is not None
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self, day: Optional[int] = None) -> List[BlocklistEntry]:
+        """All entries, or only those active on ``day``."""
+        values = list(self._entries.values())
+        if day is not None:
+            values = [e for e in values if e.active(day)]
+        return sorted(values, key=lambda e: e.block)
+
+    def active_networks(self, day: int) -> np.ndarray:
+        """Sorted masked-network array of blocks in force on ``day``."""
+        nets = [e.block.network for e in self._entries.values() if e.active(day)]
+        return np.asarray(sorted(nets), dtype=np.uint32)
+
+    def is_blocked(self, address: AddressLike, day: int) -> bool:
+        """Whether traffic from ``address`` would be dropped on ``day``."""
+        entry = self._entries.get(
+            as_int(address) & lowcidr.prefix_mask(self.prefix_len)
+            if self.prefix_len
+            else 0
+        )
+        return entry is not None and entry.active(day)
+
+    def blocked_mask(self, addresses: np.ndarray, day: int) -> np.ndarray:
+        """Vectorised :meth:`is_blocked` over an address array."""
+        return lowcidr.contains(addresses, self.active_networks(day), self.prefix_len)
+
+    def coverage(self, report: Report, day: int) -> float:
+        """Fraction of the report's addresses the list blocks on ``day``."""
+        if len(report) == 0:
+            return 0.0
+        return float(self.blocked_mask(report.addresses, day).mean())
+
+    def score_of(self, address: AddressLike, day: int) -> float:
+        """Decayed score of the entry covering ``address`` (0 if none)."""
+        network = as_int(address) & lowcidr.prefix_mask(self.prefix_len) if self.prefix_len else 0
+        entry = self._entries.get(network)
+        if entry is None or not entry.active(day):
+            return 0.0
+        return entry.decayed_score(day, self.score_half_life_days)
+
+    def __repr__(self) -> str:
+        return (
+            f"Blocklist(/{self.prefix_len}, entries={len(self)}, "
+            f"ttl={self.default_ttl_days}d)"
+        )

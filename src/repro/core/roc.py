@@ -1,0 +1,110 @@
+"""ROC analysis utilities.
+
+§6.2 evaluates the blocking defence with "ROC analysis: we compare true
+positive rates and false positive rates against an operating
+characteristic of the prefix length".  The prefix sweep gives nine
+operating points; this module provides the general machinery — ROC curves
+over arbitrary score thresholds and the area under them — so that
+score-based defences (e.g. blocking by
+:class:`~repro.core.uncleanliness.UncleanlinessScorer` output) can be
+compared against the paper's prefix-length characteristic on the same
+axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ROCCurve", "roc_curve", "auc"]
+
+
+@dataclass(frozen=True)
+class ROCCurve:
+    """A ROC curve: per-threshold operating points, thresholds descending.
+
+    ``thresholds[i]`` classifies positive everything with score >=
+    ``thresholds[i]``; ``tpr``/``fpr`` hold the resulting rates.  The
+    conventional (0,0) and (1,1) anchor points are included.
+    """
+
+    thresholds: np.ndarray
+    tpr: np.ndarray
+    fpr: np.ndarray
+
+    def auc(self) -> float:
+        """Area under the curve (trapezoidal)."""
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        return float(trapezoid(self.tpr, self.fpr))
+
+    def operating_point(self, threshold: float) -> dict:
+        """The (fpr, tpr) achieved at a given threshold."""
+        # thresholds are descending; find the last threshold >= requested.
+        mask = self.thresholds >= threshold
+        if not mask.any():
+            return {"threshold": threshold, "tpr": 0.0, "fpr": 0.0}
+        idx = int(np.nonzero(mask)[0][-1])
+        return {
+            "threshold": threshold,
+            "tpr": float(self.tpr[idx]),
+            "fpr": float(self.fpr[idx]),
+        }
+
+    def best_youden(self) -> dict:
+        """The threshold maximising Youden's J = TPR - FPR."""
+        j = self.tpr - self.fpr
+        idx = int(np.argmax(j))
+        return {
+            "threshold": float(self.thresholds[idx]),
+            "tpr": float(self.tpr[idx]),
+            "fpr": float(self.fpr[idx]),
+            "youden_j": float(j[idx]),
+        }
+
+    def rows(self) -> list:
+        return [
+            {
+                "threshold": round(float(t), 4),
+                "tpr": round(float(tp), 4),
+                "fpr": round(float(fp), 4),
+            }
+            for t, tp, fp in zip(self.thresholds, self.tpr, self.fpr)
+        ]
+
+
+def roc_curve(scores: Sequence[float], labels: Sequence[bool]) -> ROCCurve:
+    """Build a ROC curve from per-item scores and boolean labels.
+
+    ``labels`` marks the positives (e.g. hostile addresses); both classes
+    must be represented.
+    """
+    score_arr = np.asarray(scores, dtype=float)
+    label_arr = np.asarray(labels, dtype=bool)
+    if score_arr.shape != label_arr.shape:
+        raise ValueError("scores and labels must have equal length")
+    positives = int(label_arr.sum())
+    negatives = int((~label_arr).sum())
+    if positives == 0 or negatives == 0:
+        raise ValueError("ROC needs at least one positive and one negative")
+
+    order = np.argsort(-score_arr, kind="stable")
+    sorted_scores = score_arr[order]
+    sorted_labels = label_arr[order]
+
+    # One operating point per distinct threshold value.
+    distinct = np.nonzero(np.diff(sorted_scores))[0]
+    cut_points = np.concatenate([distinct, [score_arr.size - 1]])
+
+    tp_cum = np.cumsum(sorted_labels)
+    fp_cum = np.cumsum(~sorted_labels)
+    thresholds = np.concatenate([[np.inf], sorted_scores[cut_points]])
+    tpr = np.concatenate([[0.0], tp_cum[cut_points] / positives])
+    fpr = np.concatenate([[0.0], fp_cum[cut_points] / negatives])
+    return ROCCurve(thresholds=thresholds, tpr=tpr, fpr=fpr)
+
+
+def auc(scores: Sequence[float], labels: Sequence[bool]) -> float:
+    """Convenience: area under the ROC curve for scores/labels."""
+    return roc_curve(scores, labels).auc()

@@ -1,0 +1,80 @@
+"""Small statistical helpers shared by the density and prediction tests.
+
+The paper summarises its 1000-subset Monte-Carlo control distributions as
+boxplots (Figs. 2-5) and judges predictors at the 95% level (§5.2).  This
+module provides the corresponding summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["BoxplotSummary", "summarize", "exceedance_fraction"]
+
+
+@dataclass(frozen=True)
+class BoxplotSummary:
+    """Five-number summary (plus mean and 5th/95th percentiles) of a sample."""
+
+    minimum: float
+    q05: float
+    q25: float
+    median: float
+    q75: float
+    q95: float
+    maximum: float
+    mean: float
+    count: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "min": self.minimum,
+            "q05": self.q05,
+            "q25": self.q25,
+            "median": self.median,
+            "q75": self.q75,
+            "q95": self.q95,
+            "max": self.maximum,
+            "mean": self.mean,
+            "count": self.count,
+        }
+
+
+def summarize(values: Sequence[float]) -> BoxplotSummary:
+    """Boxplot-style summary of ``values``.
+
+    >>> summarize([1, 2, 3, 4, 5]).median
+    3.0
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    q05, q25, q50, q75, q95 = np.percentile(arr, [5, 25, 50, 75, 95])
+    return BoxplotSummary(
+        minimum=float(arr.min()),
+        q05=float(q05),
+        q25=float(q25),
+        median=float(q50),
+        q75=float(q75),
+        q95=float(q95),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+        count=int(arr.size),
+    )
+
+
+def exceedance_fraction(observed: float, control_values: Sequence[float]) -> float:
+    """Fraction of control draws that the observed value strictly exceeds.
+
+    The paper's criterion: a report "is a better predictor than R_control
+    if the cardinality of its intersection ... is higher than the
+    intersection with randomly selected addresses in 95% of the observed
+    cases" (§5.2).  A return value >= 0.95 meets that bar.
+    """
+    arr = np.asarray(control_values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot compare against an empty control sample")
+    return float(np.mean(observed > arr))

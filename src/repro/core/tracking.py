@@ -1,0 +1,130 @@
+"""Rolling uncleanliness tracking.
+
+The paper evaluates one static snapshot (an October fortnight scored
+against a May report).  Operating the idea means running it as a loop:
+every reporting period, fold the new unclean reports into per-block
+scores, refresh the blocklist, age out stale entries, and measure how
+well the current list covers the *next* period's hostile population.
+:class:`UncleanlinessTracker` is that loop, built from the library's
+scorer (§7 metric) and TTL blocklist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.core.blocklist import Blocklist
+from repro.core.report import Report
+from repro.core.uncleanliness import UncleanlinessScorer
+
+__all__ = ["TrackerConfig", "UncleanlinessTracker"]
+
+
+@dataclass(frozen=True)
+class TrackerConfig:
+    """Tracker policy."""
+
+    #: Blocklist granularity (the paper's operative /24).
+    prefix_len: int = 24
+
+    #: Score a block must reach in one update to be (re)listed.
+    listing_threshold: float = 0.5
+
+    #: Entry lifetime per (re)listing.
+    ttl_days: int = 45
+
+    #: Evidence decay half-life (long, per temporal uncleanliness).
+    score_half_life_days: float = 60.0
+
+    #: Per-class evidence weights (None = scorer defaults).
+    weights: Optional[Dict[str, float]] = None
+
+    def validate(self) -> None:
+        if not 0 <= self.prefix_len <= 32:
+            raise ValueError("prefix_len out of range")
+        if not 0 <= self.listing_threshold <= 1:
+            raise ValueError("listing_threshold must be in [0, 1]")
+        if self.ttl_days <= 0:
+            raise ValueError("ttl_days must be positive")
+
+
+class UncleanlinessTracker:
+    """Maintains a scored blocklist across reporting periods."""
+
+    def __init__(self, config: TrackerConfig = TrackerConfig()) -> None:
+        config.validate()
+        self.config = config
+        self.blocklist = Blocklist(
+            prefix_len=config.prefix_len,
+            default_ttl_days=config.ttl_days,
+            score_half_life_days=config.score_half_life_days,
+        )
+        self.history: List[dict] = []
+
+    def update(self, day: int, reports: Mapping[str, Report]) -> dict:
+        """Fold one period's reports into the list; returns a snapshot.
+
+        ``reports`` maps class names (must be known to the scorer's
+        weights) to that period's reports.
+        """
+        if not reports:
+            raise ValueError("update needs at least one report")
+        weights = self.config.weights
+        if weights is None:
+            scorer = UncleanlinessScorer(prefix_len=self.config.prefix_len)
+            # Restrict default weights to the classes supplied.
+            scorer.weights = {
+                cls: w for cls, w in scorer.weights.items() if cls in reports
+            }
+            missing = set(reports) - set(scorer.weights)
+            for cls in missing:
+                scorer.weights[cls] = 1.0
+        else:
+            scorer = UncleanlinessScorer(
+                prefix_len=self.config.prefix_len, weights=weights
+            )
+        scores = scorer.score(reports)
+        listed = self.blocklist.add_scores(
+            scores, day, threshold=self.config.listing_threshold
+        )
+        pruned = self.blocklist.prune(day)
+        snapshot = {
+            "day": day,
+            "scored_blocks": len(scores),
+            "listed_or_refreshed": listed,
+            "pruned": pruned,
+            "active_entries": len(self.blocklist.entries(day)),
+        }
+        self.history.append(snapshot)
+        return snapshot
+
+    def evaluate(self, day: int, hostile: Report, benign: Optional[Report] = None) -> dict:
+        """Score the current list against ground truth on ``day``.
+
+        Returns the hostile coverage (recall) and, when a benign
+        population is supplied, the collateral rate (fraction of benign
+        addresses the list would drop).
+        """
+        result = {
+            "day": day,
+            "active_entries": len(self.blocklist.entries(day)),
+            "hostile_coverage": round(self.blocklist.coverage(hostile, day), 4),
+        }
+        if benign is not None:
+            result["benign_collateral"] = round(
+                self.blocklist.coverage(benign, day), 4
+            )
+        return result
+
+    def series(self) -> List[dict]:
+        """All update snapshots, oldest first."""
+        return list(self.history)
+
+    def __repr__(self) -> str:
+        return (
+            f"UncleanlinessTracker(updates={len(self.history)}, "
+            f"blocklist={self.blocklist!r})"
+        )

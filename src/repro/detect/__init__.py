@@ -1,0 +1,32 @@
+"""Detectors that turn simulated activity into the paper's reports."""
+
+from repro.detect.botlog import BotLogConfig, BotLogMonitor
+from repro.detect.cnc import IRC_PORTS, SinkholeConfig, SinkholeMonitor
+from repro.detect.dnsbl import DNSBLQuery, DNSBLServer
+from repro.detect.logistic import FEATURE_NAMES, LogisticScanModel, extract_features
+from repro.detect.phishlist import PhishListAggregator, PhishListConfig
+from repro.detect.scan import ScanDetector, ScanDetectorConfig
+from repro.detect.spam import SpamDetector, SpamDetectorConfig
+from repro.detect.trw import TRWConfig, TRWDetector, TRWState
+
+__all__ = [
+    "ScanDetector",
+    "ScanDetectorConfig",
+    "TRWDetector",
+    "TRWConfig",
+    "TRWState",
+    "SpamDetector",
+    "SpamDetectorConfig",
+    "BotLogMonitor",
+    "BotLogConfig",
+    "PhishListAggregator",
+    "PhishListConfig",
+    "SinkholeMonitor",
+    "SinkholeConfig",
+    "IRC_PORTS",
+    "DNSBLServer",
+    "DNSBLQuery",
+    "LogisticScanModel",
+    "extract_features",
+    "FEATURE_NAMES",
+]

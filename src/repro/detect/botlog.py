@@ -1,0 +1,60 @@
+"""Bot reports from C&C channel monitoring.
+
+The paper's provided ``bot`` reports come from "observing IP addresses
+communicating on IRC channels" (§1) — i.e. third parties sitting on a
+botnet's rendezvous point and logging member addresses.  This module
+produces that view from the simulated botnet: the membership of a chosen
+set of channels during a window, thinned by an observation probability
+(a monitor does not see every member join).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.sim.botnet import BotnetSimulation
+from repro.sim.timeline import Window
+
+__all__ = ["BotLogConfig", "BotLogMonitor"]
+
+
+@dataclass(frozen=True)
+class BotLogConfig:
+    """Monitor parameters."""
+
+    #: Fraction of channel members the monitor actually observes.
+    observation_probability: float = 0.9
+
+    def validate(self) -> None:
+        if not 0 < self.observation_probability <= 1:
+            raise ValueError("observation_probability must be in (0, 1]")
+
+
+class BotLogMonitor:
+    """Produces provided-style bot address reports from channel logs."""
+
+    def __init__(self, config: BotLogConfig = BotLogConfig()) -> None:
+        config.validate()
+        self.config = config
+
+    def observe(
+        self,
+        botnet: BotnetSimulation,
+        window: Window,
+        rng: np.random.Generator,
+        channels: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Unique member addresses the monitor logs during ``window``.
+
+        ``channels`` limits the view to specific C&C channels (a real feed
+        covers the botnets its operators have infiltrated, not all of
+        them); the default observes every channel.
+        """
+        members = botnet.active_addresses(window, channels=channels)
+        if members.size == 0:
+            return members
+        seen = rng.random(members.size) < self.config.observation_probability
+        return members[seen]

@@ -1,0 +1,145 @@
+"""Threshold Random Walk scan detection (Jung et al., Oakland 2004).
+
+The paper cites two scan-detection lineages for its ``scan`` class (§3.1):
+the Gates et al. fan-out method (implemented in
+:mod:`repro.detect.scan`) and the sequential hypothesis testing of Jung,
+Paxson, Berger & Balakrishnan.  This module implements the latter so both
+reporting methods the paper names are available.
+
+For each remote source we observe a sequence of first-contact connection
+outcomes :math:`Y_i` (success = the flow shows an ACK, failure = it does
+not).  Under hypothesis :math:`H_0` (benign) successes have probability
+``theta0``; under :math:`H_1` (scanner) they have probability ``theta1 <
+theta0``.  The likelihood ratio
+
+.. math::
+
+   \\Lambda(n) = \\prod_{i=1}^{n}
+   \\frac{P(Y_i \\mid H_1)}{P(Y_i \\mid H_0)}
+
+is updated per outcome and compared with thresholds
+:math:`\\eta_0 = \\beta / (1 - \\alpha)` and
+:math:`\\eta_1 = (1 - \\beta) / \\alpha` derived from the target false
+positive rate ``alpha`` and false negative rate ``beta``.  Crossing
+:math:`\\eta_1` declares the source a scanner; crossing :math:`\\eta_0`
+declares it benign (and, as in the paper's usage, stops the walk).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.flows.log import FlowLog
+from repro.flows.record import Protocol, TCPFlags
+
+__all__ = ["TRWConfig", "TRWDetector", "TRWState"]
+
+
+@dataclass(frozen=True)
+class TRWConfig:
+    """Sequential hypothesis test parameters (defaults follow the paper)."""
+
+    #: P(success | benign source).
+    theta0: float = 0.8
+
+    #: P(success | scanner).
+    theta1: float = 0.2
+
+    #: Target false positive rate.
+    alpha: float = 0.01
+
+    #: Target false negative rate.
+    beta: float = 0.01
+
+    def validate(self) -> None:
+        if not 0 < self.theta1 < self.theta0 < 1:
+            raise ValueError("need 0 < theta1 < theta0 < 1")
+        if not 0 < self.alpha < 1 or not 0 < self.beta < 1:
+            raise ValueError("alpha and beta must be in (0, 1)")
+
+    @property
+    def upper_threshold(self) -> float:
+        """:math:`\\eta_1`: crossing it declares a scanner."""
+        return (1 - self.beta) / self.alpha
+
+    @property
+    def lower_threshold(self) -> float:
+        """:math:`\\eta_0`: crossing it declares the source benign."""
+        return self.beta / (1 - self.alpha)
+
+    @property
+    def success_step(self) -> float:
+        """Log-likelihood increment for a successful connection."""
+        return math.log(self.theta1 / self.theta0)
+
+    @property
+    def failure_step(self) -> float:
+        """Log-likelihood increment for a failed connection."""
+        return math.log((1 - self.theta1) / (1 - self.theta0))
+
+
+@dataclass
+class TRWState:
+    """Walk state for one source."""
+
+    log_ratio: float = 0.0
+    outcomes: int = 0
+    verdict: str = "pending"  # "pending" | "scanner" | "benign"
+
+
+class TRWDetector:
+    """Sequential hypothesis-test scan detector over a flow log."""
+
+    def __init__(self, config: TRWConfig = TRWConfig()) -> None:
+        config.validate()
+        self.config = config
+
+    def _outcomes(self, flows: FlowLog) -> Iterable[Tuple[int, bool]]:
+        """Yield (source, success) first-contact outcomes in time order.
+
+        Only the first flow to each (source, destination) pair counts —
+        TRW is defined over first-contact connection attempts.
+        """
+        tcp = flows.select(flows.protocol == Protocol.TCP)
+        order = np.argsort(tcp.start_time, kind="stable")
+        seen: set = set()
+        src = tcp.src_addr
+        dst = tcp.dst_addr
+        acked = (tcp.tcp_flags & TCPFlags.ACK) != 0
+        for i in order:
+            key = (int(src[i]), int(dst[i]))
+            if key in seen:
+                continue
+            seen.add(key)
+            yield int(src[i]), bool(acked[i])
+
+    def walk(self, flows: FlowLog) -> Dict[int, TRWState]:
+        """Run the walk for every source; returns final per-source state."""
+        cfg = self.config
+        upper = math.log(cfg.upper_threshold)
+        lower = math.log(cfg.lower_threshold)
+        success_step = cfg.success_step
+        failure_step = cfg.failure_step
+
+        states: Dict[int, TRWState] = {}
+        for source, success in self._outcomes(flows):
+            state = states.setdefault(source, TRWState())
+            if state.verdict != "pending":
+                continue
+            state.log_ratio += success_step if success else failure_step
+            state.outcomes += 1
+            if state.log_ratio >= upper:
+                state.verdict = "scanner"
+            elif state.log_ratio <= lower:
+                state.verdict = "benign"
+        return states
+
+    def detect(self, flows: FlowLog) -> np.ndarray:
+        """Sorted unique source addresses declared scanners."""
+        states = self.walk(flows)
+        scanners = [src for src, st in states.items() if st.verdict == "scanner"]
+        return np.unique(np.asarray(scanners, dtype=np.uint32))

@@ -1,0 +1,62 @@
+"""Shared helpers for the experiment modules: table rendering and the
+default scenario cache.
+
+Every experiment accepts an explicit :class:`~repro.core.scenario.PaperScenario`,
+but building one takes tens of seconds, so callers running several
+experiments (the benchmark suite, the CLI) share one via
+:func:`default_scenario`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.scenario import PaperScenario, ScenarioConfig
+
+__all__ = ["render_table", "default_scenario", "clear_scenario_cache"]
+
+_SCENARIO_CACHE: Dict[int, PaperScenario] = {}
+
+
+def default_scenario(config: Optional[ScenarioConfig] = None) -> PaperScenario:
+    """Build (or reuse) the scenario for a config, keyed by its seed."""
+    config = config or ScenarioConfig()
+    cached = _SCENARIO_CACHE.get(config.seed)
+    if cached is not None and cached.config == config:
+        return cached
+    scenario = PaperScenario(config)
+    _SCENARIO_CACHE[config.seed] = scenario
+    return scenario
+
+
+def clear_scenario_cache() -> None:
+    """Drop cached scenarios (used by tests)."""
+    _SCENARIO_CACHE.clear()
+
+
+def render_table(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as an aligned text table.
+
+    >>> print(render_table([{"a": 1, "b": "x"}]))
+    a  b
+    1  x
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = ["  ".join(str(col).ljust(w) for col, w in zip(columns, widths)).rstrip()]
+    for row in cells:
+        lines.append("  ".join(value.ljust(w) for value, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

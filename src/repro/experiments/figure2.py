@@ -1,0 +1,126 @@
+"""Figure 2: naive vs. empirical density estimation against real bots.
+
+Compares :math:`|C_n(R_{bot})|` for n in [16, 32] against two control
+models of equal cardinality: the *naive* estimate (uniform over
+IANA-populated /8s) and the *empirical* estimate (random subsets of the
+control report).  The paper's point — and this experiment's checkable
+claims — are that the naive estimate hugely over-disperses (its block
+counts double with each added prefix bit, far above the others) while the
+empirical estimate tracks the true structure, and the bot report is
+denser than both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.density import DensityResult, density_test
+from repro.core.scenario import PaperScenario
+from repro.experiments.common import render_table
+
+__all__ = ["Figure2Result", "run", "format_result"]
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """The three density curves of Figure 2."""
+
+    density: DensityResult  # observed + empirical + naive curves
+
+    def naive_overdisperses(self) -> bool:
+        """Naive estimate far above the empirical one where it matters.
+
+        At very long prefixes both estimates saturate at the report
+        cardinality, so the comparison is: never below the empirical
+        median anywhere, and substantially above it at the short-prefix
+        end (Figure 2's visual gap).
+        """
+        assert self.density.naive is not None
+        never_below = all(
+            self.density.naive[n].median >= self.density.control[n].median
+            for n in self.density.prefixes
+        )
+        clearly_above = (
+            self.density.naive[16].median > 1.5 * self.density.control[16].median
+        )
+        return never_below and clearly_above
+
+    def naive_doubles_per_bit(self) -> bool:
+        """Naive block counts ~double per added bit while blocks are scarce.
+
+        The paper: "If addresses were evenly distributed, as is the case
+        with the naive estimate, then we would expect the number of
+        blocks observed to double with each unit increase in prefix
+        length."  Doubling is a property of the *saturated* regime, where
+        the sample is much larger than the number of available blocks and
+        essentially all of them are hit; once block counts approach the
+        sample size the curve flattens instead.  Only prefixes still in
+        the saturated regime are checked (vacuously true if the sample is
+        too small to saturate any prefix).
+        """
+        assert self.density.naive is not None
+        sample_size = self.density.observed[32]
+        for n in self.density.prefixes:
+            if n + 1 not in self.density.naive:
+                continue
+            if self.density.naive[n + 1].median > 0.25 * sample_size:
+                continue  # leaving the saturated regime
+            ratio = self.density.naive[n + 1].median / self.density.naive[n].median
+            if not 1.7 <= ratio <= 2.1:
+                return False
+        return True
+
+    def bot_densest(self) -> bool:
+        """The bot curve sits at or below both estimates everywhere."""
+        assert self.density.naive is not None
+        return self.density.hypothesis_holds() and all(
+            self.density.observed[n] <= self.density.naive[n].median
+            for n in self.density.prefixes
+        )
+
+    def rows(self) -> List[dict]:
+        assert self.density.naive is not None
+        return [
+            {
+                "prefix": n,
+                "bot_blocks": self.density.observed[n],
+                "empirical_median": self.density.control[n].median,
+                "naive_median": self.density.naive[n].median,
+            }
+            for n in self.density.prefixes
+        ]
+
+
+def run(
+    scenario: PaperScenario,
+    rng: Optional[np.random.Generator] = None,
+    subsets: int = 200,
+    naive_subsets: int = 20,
+) -> Figure2Result:
+    """Regenerate Figure 2 from a built scenario."""
+    rng = rng if rng is not None else np.random.default_rng(scenario.config.seed)
+    density = density_test(
+        scenario.bot,
+        scenario.control,
+        rng,
+        subsets=subsets,
+        include_naive=True,
+        naive_subsets=naive_subsets,
+    )
+    return Figure2Result(density=density)
+
+
+def format_result(result: Figure2Result) -> str:
+    lines = [
+        "Figure 2: density estimation techniques vs. actual botnet density",
+        "",
+        render_table(result.rows()),
+        "",
+        f"naive estimate over-disperses: {result.naive_overdisperses()}",
+        f"naive doubles per added bit (sparse regime): {result.naive_doubles_per_bit()}",
+        f"bot report densest everywhere: {result.bot_densest()}",
+    ]
+    return "\n".join(lines)

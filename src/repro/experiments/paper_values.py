@@ -1,0 +1,75 @@
+"""Reference values quoted in the paper, for side-by-side comparison.
+
+Only *shape* is expected to transfer to the reproduction (the substrate is
+a simulator, not the authors' testbed); these constants let every
+experiment print the paper's numbers next to the measured ones.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1_SIZES",
+    "TABLE2_SIZES",
+    "TABLE3_ROWS",
+    "FIGURE4_PREDICTIVE_RANGES",
+    "FIGURE1_PEAK_OVERLAP",
+    "TP_RATE_AT_24",
+    "TP_RATE_AT_24_UNKNOWN_HOSTILE",
+    "BLOCKED_SPACE_UTILISATION",
+]
+
+#: Table 1 report cardinalities.
+TABLE1_SIZES = {
+    "bot": 621_861,
+    "phish": 53_789,
+    "scan": 151_908,
+    "spam": 397_306,
+    "bot-test": 186,
+    "control": 46_899_928,
+}
+
+#: Table 2 report cardinalities.
+TABLE2_SIZES = {
+    "unclean": 1_158_103,
+    "candidate": 1030,
+    "hostile": 287,
+    "unknown": 708,
+    "innocent": 35,
+}
+
+#: Table 3: (n, TP, FP, pop, unknown).
+TABLE3_ROWS = (
+    (24, 287, 35, 322, 708),
+    (25, 172, 22, 194, 344),
+    (26, 81, 1, 82, 200),
+    (27, 38, 1, 39, 105),
+    (28, 18, 0, 18, 60),
+    (29, 7, 0, 7, 29),
+    (30, 1, 0, 1, 14),
+    (31, 1, 0, 1, 7),
+    (32, 1, 0, 1, 0),
+)
+
+#: §5.2: prefix bands where R_bot-test beats control at the 95% level.
+FIGURE4_PREDICTIVE_RANGES = {
+    "bot": (20, 25),
+    "spam": (19, 32),
+    "scan": (20, 24),
+    "phish-present": None,  # bot-test does NOT predict phishing
+}
+
+#: Figure 1: "at its peak, 35% of the addresses reported as belonging to
+#: the botnet are scanning the observed network".
+FIGURE1_PEAK_OVERLAP = 0.35
+
+#: §6.2: "At n=24, 90% of the incoming addresses are correctly identified
+#: as hostile."
+TP_RATE_AT_24 = 0.90
+
+#: §6.2: "If we assume that unknown addresses are hostile, the true
+#: positive rate is 97%."
+TP_RATE_AT_24_UNKNOWN_HOSTILE = 0.97
+
+#: §6.2: "less than 2% of the total IP addresses available in those /24s
+#: communicated with the observed network during this time."
+BLOCKED_SPACE_UTILISATION = 0.02

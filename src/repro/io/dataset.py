@@ -1,0 +1,141 @@
+"""Dataset directories: persist and reload a whole study's artefacts.
+
+A reproduction run produces a family of reports (Table 1/2) and a border
+flow capture.  This module lays them out as a directory —
+
+::
+
+    dataset/
+      manifest.json          # inventory + format version
+      reports/<tag>.txt      # one file per report (repro.io.reports format)
+      flows/october.csv      # flow captures (repro.io.flows format)
+
+— so results can be shipped, diffed, or re-analysed without re-running
+the simulation.  :func:`save_scenario` snapshots a
+:class:`~repro.core.scenario.PaperScenario`; :func:`load_dataset` reloads
+any dataset directory into plain reports and flow logs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.core.report import Report
+from repro.flows.log import FlowLog
+from repro.io.flows import read_flows, write_flows
+from repro.io.reports import read_report, write_report
+
+__all__ = ["Dataset", "save_scenario", "save_dataset", "load_dataset"]
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class Dataset:
+    """An in-memory dataset: tagged reports plus named flow captures."""
+
+    reports: Dict[str, Report] = field(default_factory=dict)
+    flows: Dict[str, FlowLog] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def report(self, tag: str) -> Report:
+        try:
+            return self.reports[tag]
+        except KeyError:
+            raise KeyError(
+                f"no report tagged {tag!r}; have {sorted(self.reports)}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(reports={sorted(self.reports)}, "
+            f"flows={sorted(self.flows)})"
+        )
+
+
+def save_dataset(dataset: Dataset, directory) -> Path:
+    """Write a dataset directory; returns its path."""
+    root = Path(directory)
+    (root / "reports").mkdir(parents=True, exist_ok=True)
+    (root / "flows").mkdir(parents=True, exist_ok=True)
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "metadata": dataset.metadata,
+        "reports": {},
+        "flows": {},
+    }
+    for tag, report in dataset.reports.items():
+        filename = f"{_safe_name(tag)}.txt"
+        write_report(report, root / "reports" / filename)
+        manifest["reports"][tag] = {
+            "file": f"reports/{filename}",
+            "size": len(report),
+        }
+    for name, log in dataset.flows.items():
+        filename = f"{_safe_name(name)}.csv"
+        write_flows(log, root / "flows" / filename)
+        manifest["flows"][name] = {
+            "file": f"flows/{filename}",
+            "records": len(log),
+        }
+    with open(root / "manifest.json", "w", encoding="ascii") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    return root
+
+
+def load_dataset(directory) -> Dataset:
+    """Read a dataset directory written by :func:`save_dataset`."""
+    root = Path(directory)
+    manifest_path = root / "manifest.json"
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no manifest.json in {root}")
+    with open(manifest_path, "r", encoding="ascii") as handle:
+        manifest = json.load(handle)
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported dataset format version: {version!r} "
+            f"(this library reads {FORMAT_VERSION})"
+        )
+
+    dataset = Dataset(metadata=manifest.get("metadata", {}))
+    for tag, info in manifest.get("reports", {}).items():
+        report = read_report(root / info["file"])
+        if len(report) != info.get("size", len(report)):
+            raise ValueError(
+                f"report {tag!r} size mismatch: manifest says "
+                f"{info['size']}, file holds {len(report)}"
+            )
+        dataset.reports[tag] = report
+    for name, info in manifest.get("flows", {}).items():
+        log = read_flows(root / info["file"])
+        if len(log) != info.get("records", len(log)):
+            raise ValueError(
+                f"flow capture {name!r} record-count mismatch: manifest "
+                f"says {info['records']}, file holds {len(log)}"
+            )
+        dataset.flows[name] = log
+    return dataset
+
+
+def save_scenario(scenario, directory, include_flows: bool = True) -> Path:
+    """Snapshot a built :class:`~repro.core.scenario.PaperScenario`."""
+    dataset = Dataset(
+        reports=dict(scenario.reports),
+        flows={"october": scenario.october_traffic.flows} if include_flows else {},
+        metadata={
+            "seed": scenario.config.seed,
+            "description": "uncleanliness reproduction scenario snapshot",
+        },
+    )
+    return save_dataset(dataset, directory)
+
+
+def _safe_name(name: str) -> str:
+    """File-system safe version of a tag."""
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)

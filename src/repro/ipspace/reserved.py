@@ -1,0 +1,72 @@
+"""Reserved and otherwise non-routable address filtering.
+
+The paper filters every report so that it contains only addresses that are
+outside the observed network and not otherwise reserved ("e.g., all
+addresses specified in RFC 1918 have been removed from reports", §3.2).
+This module implements that filter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.ipspace.addr import AddressLike, as_array, as_int
+from repro.ipspace.cidr import CIDRBlock
+
+__all__ = [
+    "RESERVED_BLOCKS",
+    "is_reserved",
+    "reserved_mask",
+    "filter_reserved",
+]
+
+#: Blocks that were reserved / special-purpose at the paper's study time.
+RESERVED_BLOCKS: Tuple[CIDRBlock, ...] = (
+    CIDRBlock.parse("0.0.0.0/8"),  # "this network"
+    CIDRBlock.parse("10.0.0.0/8"),  # RFC 1918
+    CIDRBlock.parse("127.0.0.0/8"),  # loopback
+    CIDRBlock.parse("169.254.0.0/16"),  # link-local
+    CIDRBlock.parse("172.16.0.0/12"),  # RFC 1918
+    CIDRBlock.parse("192.0.2.0/24"),  # TEST-NET
+    CIDRBlock.parse("192.168.0.0/16"),  # RFC 1918
+    CIDRBlock.parse("198.18.0.0/15"),  # benchmarking
+    CIDRBlock.parse("224.0.0.0/4"),  # multicast (class D)
+    CIDRBlock.parse("240.0.0.0/4"),  # class E
+)
+
+# Pre-computed (first, last) integer ranges for the vectorised path.
+_RANGES = np.asarray(
+    [(b.first_address, b.last_address) for b in RESERVED_BLOCKS], dtype=np.uint32
+)
+
+
+def is_reserved(address: AddressLike) -> bool:
+    """Whether a single address falls in any reserved block.
+
+    >>> is_reserved("192.168.1.1")
+    True
+    >>> is_reserved("62.4.1.1")
+    False
+    """
+    value = as_int(address)
+    return any(block.contains(value) for block in RESERVED_BLOCKS)
+
+
+def reserved_mask(addresses: Iterable[AddressLike]) -> np.ndarray:
+    """Boolean array marking which addresses are reserved."""
+    arr = as_array(addresses)
+    mask = np.zeros(arr.shape, dtype=bool)
+    for first, last in _RANGES:
+        mask |= (arr >= first) & (arr <= last)
+    return mask
+
+
+def filter_reserved(addresses: Iterable[AddressLike]) -> np.ndarray:
+    """Drop reserved addresses, returning the survivors as ``uint32``.
+
+    This is the report-sanitisation step from §3.2.
+    """
+    arr = as_array(addresses)
+    return arr[~reserved_mask(arr)]

@@ -1,0 +1,34 @@
+"""Simulation substrate: the synthetic Internet and its actors."""
+
+from repro.sim.botnet import BotnetConfig, BotnetSimulation
+from repro.sim.dynamics import DynamicsConfig, UncleanlinessProcess
+from repro.sim.internet import InternetConfig, SyntheticInternet
+from repro.sim.phishing import PhishingConfig, PhishingSimulation
+from repro.sim.validation import CheckResult, validate_botnet
+from repro.sim.timeline import (
+    DAY_SECONDS,
+    EPOCH,
+    PAPER_WINDOWS,
+    Window,
+    date_to_day,
+    day_to_date,
+)
+
+__all__ = [
+    "InternetConfig",
+    "SyntheticInternet",
+    "BotnetConfig",
+    "BotnetSimulation",
+    "DynamicsConfig",
+    "UncleanlinessProcess",
+    "PhishingConfig",
+    "PhishingSimulation",
+    "Window",
+    "EPOCH",
+    "DAY_SECONDS",
+    "PAPER_WINDOWS",
+    "date_to_day",
+    "day_to_date",
+    "CheckResult",
+    "validate_botnet",
+]

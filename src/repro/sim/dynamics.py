@@ -1,0 +1,149 @@
+"""Time-varying uncleanliness.
+
+The base simulator treats uncleanliness as a static per-/24 field, which
+bakes in the paper's temporal hypothesis (networks stay unclean).  This
+module makes the field a *process* so the hypothesis can be probed rather
+than assumed.
+
+Model: the field is piecewise constant over epochs.  In each epoch every
+network either **keeps** its structural uncleanliness (with probability
+``stability`` — the institution's enduring posture) or takes a
+**transient** value drawn by permuting the structural field (plus
+optional lognormal jitter).  Permutation preserves the cross-sectional
+distribution exactly, so *spatial* clustering is identical at every
+stability — only the field's *memory* changes:
+
+* ``stability=1`` — the paper's world: a network's dirt level never
+  moves, so months-old reports stay predictive.
+* ``stability=0`` — hygiene reshuffles every epoch: at any instant dirt
+  still clusters somewhere (spatial uncleanliness survives) but past
+  reports point at yesterday's dirty networks (temporal uncleanliness
+  collapses).
+
+The field-stability ablation in :mod:`repro.experiments.ablation` sweeps
+``stability`` and measures exactly that collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.internet import SyntheticInternet
+
+__all__ = ["DynamicsConfig", "UncleanlinessProcess"]
+
+
+@dataclass(frozen=True)
+class DynamicsConfig:
+    """Parameters of the uncleanliness process."""
+
+    #: Days per epoch (the field is piecewise constant within an epoch).
+    epoch_days: int = 30
+
+    #: Horizon in days (must cover the simulations using the process).
+    horizon_days: int = 334
+
+    #: Per-epoch probability that a network keeps its structural value.
+    stability: float = 1.0
+
+    #: Lognormal jitter applied to transient (reshuffled) values.
+    innovation_sigma: float = 0.3
+
+    def validate(self) -> None:
+        if self.epoch_days <= 0:
+            raise ValueError("epoch_days must be positive")
+        if self.horizon_days <= 0:
+            raise ValueError("horizon_days must be positive")
+        if not 0 <= self.stability <= 1:
+            raise ValueError("stability must be in [0, 1]")
+        if self.innovation_sigma < 0:
+            raise ValueError("innovation_sigma must be non-negative")
+
+    @property
+    def num_epochs(self) -> int:
+        return -(-self.horizon_days // self.epoch_days)  # ceil division
+
+
+class UncleanlinessProcess:
+    """The realised per-epoch uncleanliness field."""
+
+    def __init__(
+        self,
+        internet: SyntheticInternet,
+        config: DynamicsConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        config.validate()
+        self.internet = internet
+        self.config = config
+        self._generate(rng)
+
+    def _generate(self, rng: np.random.Generator) -> None:
+        cfg = self.config
+        base = self.internet.uncleanliness
+        epochs = cfg.num_epochs
+        networks = base.size
+
+        field = np.empty((epochs, networks), dtype=np.float64)
+        for epoch in range(epochs):
+            if cfg.stability >= 1:
+                field[epoch] = base
+                continue
+            keep = rng.random(networks) < cfg.stability
+            transient = rng.permutation(base)
+            if cfg.innovation_sigma > 0:
+                transient = np.clip(
+                    transient
+                    * rng.lognormal(0.0, cfg.innovation_sigma, size=networks),
+                    0.0,
+                    1.0,
+                )
+            field[epoch] = np.where(keep, base, transient)
+
+        self.uncleanliness = field
+        self.uncleanliness.setflags(write=False)
+
+    # -- queries ------------------------------------------------------------
+
+    def epoch_of(self, day: int) -> int:
+        """Epoch index containing ``day``."""
+        if not 0 <= day < self.config.horizon_days:
+            raise ValueError(
+                f"day {day} outside process horizon "
+                f"[0, {self.config.horizon_days})"
+            )
+        return day // self.config.epoch_days
+
+    def at_day(self, day: int) -> np.ndarray:
+        """Per-/24 uncleanliness in force on ``day``."""
+        return self.uncleanliness[self.epoch_of(day)]
+
+    def at_epoch(self, epoch: int) -> np.ndarray:
+        return self.uncleanliness[epoch]
+
+    def compromise_weights(self, day: int, affinity: float = 1.7) -> np.ndarray:
+        """Population x uncleanliness^affinity on ``day`` (cf.
+        :meth:`SyntheticInternet.compromise_weights`)."""
+        return self.internet.population.astype(np.float64) * np.power(
+            self.at_day(day), affinity
+        )
+
+    def field_correlation(self, day_a: int, day_b: int) -> float:
+        """Pearson correlation of the field between two days.
+
+        1 for a frozen field; decays toward 0 as stability drops and the
+        epochs diverge.
+        """
+        a = self.at_day(day_a)
+        b = self.at_day(day_b)
+        if np.allclose(a, a.mean()) or np.allclose(b, b.mean()):
+            return 1.0
+        return float(np.corrcoef(a, b)[0, 1])
+
+    def __repr__(self) -> str:
+        return (
+            f"UncleanlinessProcess(epochs={self.config.num_epochs}, "
+            f"stability={self.config.stability})"
+        )

@@ -1,0 +1,290 @@
+"""A synthetic Internet with per-network uncleanliness.
+
+This is the substrate that replaces the paper's proprietary vantage: a
+population of occupied /24 networks spread non-uniformly over the 2006
+allocated IPv4 space, each carrying
+
+* a **host population** (how many addresses are live),
+* an **uncleanliness** score in [0, 1] — the paper's hidden network
+  property: "an indicator of the propensity for hosts in a network to be
+  compromised" (§1), and
+* a **hosting flag** marking datacenter-style blocks where public web
+  servers (and therefore phishing sites, §5.2) concentrate.
+
+Structure follows the paper's modelling assumptions:
+
+* addresses are *not* uniform in IPv4 space (Kohler et al., cited in
+  §4.2): occupied /16s are a sparse subset of allocated space and /24
+  occupancy within a /16 varies widely;
+* uncleanliness is correlated within a /16 (institutions run many
+  adjacent /24s), which produces the spatial clustering the paper
+  measures, and is heavy-tailed: most networks are mostly clean, a small
+  minority are very unclean.
+
+Everything is generated deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.ipspace.addr import as_int
+from repro.ipspace.cidr import CIDRBlock
+from repro.ipspace.iana import allocated_octets
+from repro.ipspace.reserved import reserved_mask
+
+__all__ = ["InternetConfig", "SyntheticInternet"]
+
+
+@dataclass(frozen=True)
+class InternetConfig:
+    """Generation parameters for :class:`SyntheticInternet`.
+
+    The defaults give a reproduction-scale Internet: roughly 50k occupied
+    /24s and 2M live hosts (the paper's vantage saw 47M distinct
+    addresses; all analyses are size-relative, so scale does not affect
+    shape).
+    """
+
+    #: Number of occupied /16 networks drawn from allocated space.
+    num_slash16: int = 950
+
+    #: Mean fraction of a /16's 256 possible /24s that are occupied.
+    mean_occupancy: float = 0.30
+
+    #: Lognormal sigma of per-/16 occupancy variation (address-structure
+    #: burstiness per Kohler et al.).
+    occupancy_sigma: float = 0.8
+
+    #: Beta parameters of the per-/16 base uncleanliness distribution.
+    #: (0.28, 3.0) gives a mostly-clean Internet with a heavy unclean tail.
+    uncleanliness_alpha: float = 0.28
+    uncleanliness_beta: float = 3.0
+
+    #: Lognormal sigma of per-/24 uncleanliness variation around the /16 base.
+    uncleanliness_noise: float = 0.45
+
+    #: Fraction of /16s that are hosting/datacenter space.
+    hosting_fraction: float = 0.04
+
+    #: Mean live hosts per occupied /24 (geometric, capped at 254).
+    mean_hosts: float = 90.0
+
+    #: The observed edge network; external reports exclude it (§3.2).
+    #: A /8 stands in for the paper's 20M-address network.
+    observed_octet: int = 30
+
+    def validate(self) -> None:
+        if self.num_slash16 <= 0:
+            raise ValueError("num_slash16 must be positive")
+        if not 0 < self.mean_occupancy <= 1:
+            raise ValueError("mean_occupancy must be in (0, 1]")
+        if not 0 <= self.hosting_fraction <= 1:
+            raise ValueError("hosting_fraction must be in [0, 1]")
+        if self.mean_hosts < 1:
+            raise ValueError("mean_hosts must be at least 1")
+        if not 0 <= self.observed_octet <= 255:
+            raise ValueError("observed_octet out of range")
+
+
+class SyntheticInternet:
+    """The generated network population (columnar over occupied /24s)."""
+
+    def __init__(self, config: InternetConfig, rng: np.random.Generator) -> None:
+        config.validate()
+        self.config = config
+        self.observed_network = CIDRBlock(config.observed_octet << 24, 8)
+        self._generate(rng)
+
+    # -- generation ----------------------------------------------------------
+
+    def _generate(self, rng: np.random.Generator) -> None:
+        cfg = self.config
+        octets = np.asarray(
+            sorted(allocated_octets() - {cfg.observed_octet}), dtype=np.uint32
+        )
+
+        # Occupied /16s: skewed across /8s (some /8s much denser than others).
+        octet_weights = rng.dirichlet(np.full(octets.size, 0.5))
+        slash16_octets = rng.choice(octets, size=cfg.num_slash16 * 2, p=octet_weights)
+        slash16_seconds = rng.integers(0, 256, size=cfg.num_slash16 * 2, dtype=np.uint32)
+        slash16 = np.unique(
+            (slash16_octets << np.uint32(24)) | (slash16_seconds << np.uint32(16))
+        )[: cfg.num_slash16]
+
+        # Per-/16 character: base uncleanliness, occupancy, hosting flag.
+        base_unclean = rng.beta(
+            cfg.uncleanliness_alpha, cfg.uncleanliness_beta, size=slash16.size
+        )
+        occupancy = cfg.mean_occupancy * rng.lognormal(
+            -cfg.occupancy_sigma**2 / 2, cfg.occupancy_sigma, size=slash16.size
+        )
+        occupancy = np.clip(occupancy, 1.0 / 256, 1.0)
+        hosting16 = rng.random(slash16.size) < cfg.hosting_fraction
+
+        # Occupied /24s within each /16.
+        nets, net16_index = [], []
+        for i, base in enumerate(slash16):
+            count = max(1, int(rng.binomial(256, occupancy[i])))
+            thirds = rng.choice(256, size=count, replace=False).astype(np.uint32)
+            nets.append(base | (thirds << np.uint32(8)))
+            net16_index.append(np.full(count, i, dtype=np.int64))
+        net24 = np.concatenate(nets)
+        self._net16_index = np.concatenate(net16_index)
+
+        order = np.argsort(net24)
+        self.net24 = net24[order]
+        self._net16_index = self._net16_index[order]
+
+        # Per-/24 uncleanliness: /16 base modulated by lognormal noise, so
+        # dirt clusters hierarchically.
+        noise = rng.lognormal(0.0, cfg.uncleanliness_noise, size=self.net24.size)
+        self.uncleanliness = np.clip(
+            base_unclean[self._net16_index] * noise, 0.0, 1.0
+        )
+
+        # Host populations: geometric with the configured mean, capped to
+        # the usable host range of a /24.
+        populations = rng.geometric(1.0 / cfg.mean_hosts, size=self.net24.size)
+        self.population = np.minimum(populations, 254).astype(np.uint16)
+
+        self.hosting = hosting16[self._net16_index]
+
+        # Hosting blocks are professionally run: damp their uncleanliness.
+        self.uncleanliness = np.where(
+            self.hosting, self.uncleanliness * 0.25, self.uncleanliness
+        )
+
+        for arr in (self.net24, self.uncleanliness, self.population, self.hosting):
+            arr.setflags(write=False)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def num_networks(self) -> int:
+        """Number of occupied /24s."""
+        return int(self.net24.size)
+
+    @property
+    def total_population(self) -> int:
+        """Total live hosts across all occupied /24s."""
+        return int(self.population.astype(np.int64).sum())
+
+    def network_of(self, address: int) -> Optional[int]:
+        """Index of the occupied /24 containing ``address``, or None."""
+        net = np.uint32(as_int(address) & 0xFFFFFF00)
+        idx = int(np.searchsorted(self.net24, net))
+        if idx < self.net24.size and self.net24[idx] == net:
+            return idx
+        return None
+
+    def is_observed(self, address: int) -> bool:
+        """Whether an address lies inside the observed edge network."""
+        return self.observed_network.contains(address)
+
+    # -- address generation -----------------------------------------------------
+
+    #: Stride for spreading live hosts across a /24.  Real populations are
+    #: not packed at the bottom of the block (DHCP pools, static servers,
+    #: NAT gateways sit anywhere), and the paper's Table 3 depends on this:
+    #: its FP counts collapse past /26 because innocent hosts do NOT share
+    #: small sub-blocks with bots.  167 is coprime to 254, so the stride
+    #: walk visits every usable offset exactly once.
+    HOST_STRIDE = 167
+
+    @classmethod
+    def host_offsets(cls, indices: np.ndarray) -> np.ndarray:
+        """Last-octet offsets of host slots ``indices`` (0-based) in a /24."""
+        spread = (np.asarray(indices, dtype=np.uint32) * cls.HOST_STRIDE) % 254
+        return spread + 1
+
+    def host_addresses(self, network_index: int) -> np.ndarray:
+        """All live host addresses of one /24 (spread over the block)."""
+        base = self.net24[network_index]
+        count = int(self.population[network_index])
+        return base + self.host_offsets(np.arange(count))
+
+    def sample_hosts(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Sample ``count`` live host addresses (with replacement).
+
+        ``weights`` are per-/24 selection weights; the default weights by
+        host population, which models "addresses observed at a busy
+        vantage" and backs the control report.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if weights is None:
+            weights = self.population.astype(np.float64)
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("weights sum to zero")
+        probs = weights / total
+        net_idx = rng.choice(self.num_networks, size=count, p=probs)
+        slots = (
+            rng.random(count) * self.population[net_idx].astype(np.float64)
+        ).astype(np.uint32)
+        return self.net24[net_idx] + self.host_offsets(slots)
+
+    def sample_unique_hosts(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        weights: Optional[np.ndarray] = None,
+        max_rounds: int = 12,
+    ) -> np.ndarray:
+        """Sample until ``count`` *distinct* host addresses are collected.
+
+        Raises if the population cannot supply that many distinct hosts.
+        """
+        if count > self.total_population:
+            raise ValueError(
+                f"requested {count} unique hosts but population is "
+                f"{self.total_population}"
+            )
+        seen = np.asarray([], dtype=np.uint32)
+        for _ in range(max_rounds):
+            need = count - seen.size
+            if need <= 0:
+                break
+            batch = self.sample_hosts(max(need * 2, 64), rng, weights)
+            seen = np.union1d(seen, batch)
+        if seen.size < count:
+            raise RuntimeError("unique host sampling did not converge")
+        return rng.choice(seen, size=count, replace=False)
+
+    # -- weights for the actors ----------------------------------------------------
+
+    def compromise_weights(self, affinity: float = 2.0) -> np.ndarray:
+        """Per-/24 weights for opportunistic compromise.
+
+        Attackers hit everyone; *successful, persistent* compromise
+        concentrates in unclean networks (§1).  Weight = population x
+        uncleanliness^affinity.
+        """
+        return self.population.astype(np.float64) * np.power(
+            self.uncleanliness, affinity
+        )
+
+    def hosting_weights(self, uncleanliness_pull: float = 0.08) -> np.ndarray:
+        """Per-/24 weights for phishing-site placement.
+
+        Phishers prefer hosting blocks (robust web serving, §5.2), with a
+        small pull toward unclean space (compromised web servers exist).
+        """
+        base = self.population.astype(np.float64)
+        hosting_term = np.where(self.hosting, 1.0, 0.01)
+        return base * (hosting_term + uncleanliness_pull * self.uncleanliness)
+
+    def __repr__(self) -> str:
+        return (
+            f"SyntheticInternet(networks={self.num_networks}, "
+            f"hosts={self.total_population}, observed={self.observed_network})"
+        )

@@ -1,0 +1,121 @@
+"""Simulation clock and calendar.
+
+The simulation runs in whole days indexed from an epoch of 2006-01-01
+(day 0), covering the paper's study year.  Flow timestamps are seconds
+since that epoch.  :class:`Window` represents an inclusive day range and
+maps to the calendar dates the paper quotes (e.g. October 1st-14th, 2006).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = [
+    "EPOCH",
+    "DAY_SECONDS",
+    "date_to_day",
+    "day_to_date",
+    "Window",
+    "PAPER_WINDOWS",
+]
+
+#: Day 0 of the simulation.
+EPOCH = datetime.date(2006, 1, 1)
+
+#: Seconds per simulated day.
+DAY_SECONDS = 86_400
+
+
+def date_to_day(date: datetime.date) -> int:
+    """Day index of a calendar date (EPOCH is day 0).
+
+    >>> date_to_day(datetime.date(2006, 1, 1))
+    0
+    """
+    return (date - EPOCH).days
+
+
+def day_to_date(day: int) -> datetime.date:
+    """Calendar date of a day index.
+
+    >>> day_to_date(0).isoformat()
+    '2006-01-01'
+    """
+    return EPOCH + datetime.timedelta(days=day)
+
+
+@dataclass(frozen=True, order=True)
+class Window:
+    """An inclusive range of simulation days."""
+
+    start_day: int
+    end_day: int
+
+    def __post_init__(self) -> None:
+        if self.end_day < self.start_day:
+            raise ValueError(
+                f"window ends before it starts: {self.start_day}..{self.end_day}"
+            )
+
+    @classmethod
+    def from_dates(cls, start: datetime.date, end: datetime.date) -> "Window":
+        """Window covering the calendar dates ``start``..``end`` inclusive."""
+        return cls(date_to_day(start), date_to_day(end))
+
+    @property
+    def num_days(self) -> int:
+        return self.end_day - self.start_day + 1
+
+    @property
+    def start_second(self) -> float:
+        """First instant of the window, in epoch seconds."""
+        return self.start_day * DAY_SECONDS
+
+    @property
+    def end_second(self) -> float:
+        """First instant *after* the window, in epoch seconds."""
+        return (self.end_day + 1) * DAY_SECONDS
+
+    def days(self) -> Iterator[int]:
+        return iter(range(self.start_day, self.end_day + 1))
+
+    def contains_day(self, day: int) -> bool:
+        return self.start_day <= day <= self.end_day
+
+    def overlaps(self, other: "Window") -> bool:
+        return self.start_day <= other.end_day and other.start_day <= self.end_day
+
+    def dates(self) -> Tuple[datetime.date, datetime.date]:
+        """Calendar (start, end) dates, for report metadata."""
+        return (day_to_date(self.start_day), day_to_date(self.end_day))
+
+    def __str__(self) -> str:
+        start, end = self.dates()
+        return f"{start.isoformat()}..{end.isoformat()}"
+
+
+class PAPER_WINDOWS:
+    """The observation windows used throughout the paper (Tables 1-2)."""
+
+    #: The two-week unclean/observation period: October 1st-14th, 2006.
+    OCTOBER = Window.from_dates(datetime.date(2006, 10, 1), datetime.date(2006, 10, 14))
+
+    #: The control capture week: September 25th - October 2nd, 2006.
+    CONTROL = Window.from_dates(datetime.date(2006, 9, 25), datetime.date(2006, 10, 2))
+
+    #: The bot-test report day: May 10th, 2006 (five months before OCTOBER).
+    BOT_TEST = Window.from_dates(datetime.date(2006, 5, 10), datetime.date(2006, 5, 10))
+
+    #: The six-month phishing report: May 1st - November 1st, 2006.
+    PHISH = Window.from_dates(datetime.date(2006, 5, 1), datetime.date(2006, 11, 1))
+
+    #: The early-phishing window used for R_phish-test (pre-October half).
+    PHISH_TEST = Window.from_dates(datetime.date(2006, 5, 1), datetime.date(2006, 5, 31))
+
+    #: Figure 1's scanning observation period: January - April 2006.
+    FIGURE1 = Window.from_dates(datetime.date(2006, 1, 2), datetime.date(2006, 4, 30))
+
+    #: Figure 1's botnet report week (first week of March 2006).
+    FIGURE1_BOT = Window.from_dates(datetime.date(2006, 3, 1), datetime.date(2006, 3, 7))

@@ -1,0 +1,60 @@
+"""Shared fixtures.
+
+The small scenario takes ~1s to build, so it is session-scoped; tests
+must treat it as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scenario import PaperScenario, ScenarioConfig
+from repro.flows.generator import TrafficGenerator
+from repro.sim.botnet import BotnetConfig, BotnetSimulation
+from repro.sim.internet import InternetConfig, SyntheticInternet
+from repro.sim.phishing import PhishingConfig, PhishingSimulation
+from repro.sim.timeline import PAPER_WINDOWS
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    """The fast end-to-end scenario; treat as read-only."""
+    return PaperScenario(ScenarioConfig.small())
+
+
+@pytest.fixture(scope="session")
+def tiny_internet():
+    """A very small synthetic Internet for unit tests."""
+    config = InternetConfig(num_slash16=25, mean_hosts=20.0)
+    return SyntheticInternet(config, np.random.default_rng(99))
+
+
+@pytest.fixture(scope="session")
+def tiny_botnet(tiny_internet):
+    config = BotnetConfig(daily_compromises=12.0, horizon_days=334)
+    return BotnetSimulation(tiny_internet, config, np.random.default_rng(100))
+
+
+@pytest.fixture(scope="session")
+def tiny_phishing(tiny_internet):
+    config = PhishingConfig(daily_sites=3.0)
+    return PhishingSimulation(tiny_internet, config, np.random.default_rng(101))
+
+
+@pytest.fixture(scope="session")
+def tiny_traffic(tiny_internet, tiny_botnet):
+    """One October border capture at unit-test scale."""
+    from repro.flows.generator import TrafficConfig
+
+    generator = TrafficGenerator(
+        tiny_internet,
+        tiny_botnet,
+        TrafficConfig(benign_clients_per_day=40, suspicious_hosts=120),
+    )
+    return generator.generate(PAPER_WINDOWS.OCTOBER, np.random.default_rng(102))

@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure9"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.small is False
+        assert args.subsets == 200
+        assert args.seed is None
+
+
+class TestMain:
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--small"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "bot-test" in out
+
+    def test_table3_small(self, capsys):
+        assert main(["table3", "--small"]) == 0
+        assert "TP rate at /24" in capsys.readouterr().out
+
+    def test_figure3_small_with_subsets(self, capsys):
+        assert main(["figure3", "--small", "--subsets", "20"]) == 0
+        assert "spatial uncleanliness" in capsys.readouterr().out
+
+    def test_seed_override(self, capsys):
+        assert main(["table1", "--small", "--seed", "99"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+
+class TestScoreCommand:
+    def test_score_to_stdout(self, tmp_path, capsys):
+        import datetime
+
+        from repro.core.report import DataClass, Report, ReportType
+        from repro.io.reports import write_report
+
+        report = Report.from_addresses(
+            "bots",
+            [f"62.4.9.{i}" for i in range(1, 30)],
+            report_type=ReportType.PROVIDED,
+            data_class=DataClass.BOTS,
+        )
+        path = tmp_path / "bots.txt"
+        write_report(report, path)
+
+        assert main(["score", "--reports", str(path), "--threshold", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "62.4.9.0/24" in out
+
+    def test_score_to_file(self, tmp_path, capsys):
+        from repro.core.report import Report
+        from repro.io.reports import write_report
+
+        write_report(
+            Report.from_addresses("feed", [f"70.1.2.{i}" for i in range(1, 40)]),
+            tmp_path / "feed.txt",
+        )
+        output = tmp_path / "blocklist.txt"
+        code = main([
+            "score", "--reports", str(tmp_path / "feed.txt"),
+            "--threshold", "0.5", "--output", str(output),
+        ])
+        assert code == 0
+        assert "70.1.2.0/24" in output.read_text()
+
+    def test_score_without_reports_fails(self, capsys):
+        assert main(["score"]) == 2
+
+    def test_score_custom_prefix(self, tmp_path, capsys):
+        from repro.core.report import Report
+        from repro.io.reports import write_report
+
+        write_report(
+            Report.from_addresses("feed", [f"70.1.{i}.1" for i in range(40)]),
+            tmp_path / "feed.txt",
+        )
+        assert main([
+            "score", "--reports", str(tmp_path / "feed.txt"),
+            "--threshold", "0.5", "--prefix", "16",
+        ]) == 0
+        assert "70.1.0.0/16" in capsys.readouterr().out
+
+
+class TestValidateCommand:
+    def test_validate_small_passes(self, capsys):
+        assert main(["validate", "--small"]) == 0
+        out = capsys.readouterr().out
+        assert "placement_tracks_uncleanliness" in out
+        assert "False" not in out
+
+
+class TestProfileCommand:
+    def test_profile_report_file(self, tmp_path, capsys):
+        from repro.core.report import Report
+        from repro.io.reports import write_report
+
+        write_report(
+            Report.from_addresses(
+                "feed", [f"70.1.{b}.{i}" for b in range(3) for i in range(1, 60)]
+            ),
+            tmp_path / "feed.txt",
+        )
+        assert main(["profile", "--reports", str(tmp_path / "feed.txt")]) == 0
+        out = capsys.readouterr().out
+        assert "177 addresses" in out
+        assert "occupancy_entropy" in out
+
+    def test_profile_without_reports_fails(self):
+        assert main(["profile"]) == 2

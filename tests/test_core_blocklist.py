@@ -1,0 +1,193 @@
+"""Unit tests for the operational blocklist (repro.core.blocklist)."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocklist import Blocklist, BlocklistEntry
+from repro.core.report import Report
+from repro.core.uncleanliness import UncleanlinessScorer
+from repro.ipspace.addr import as_int
+from repro.ipspace.cidr import CIDRBlock
+
+BLOCK = CIDRBlock.parse("62.4.9.0/24")
+OTHER = CIDRBlock.parse("62.4.10.0/24")
+
+
+class TestConstruction:
+    def test_defaults(self):
+        bl = Blocklist()
+        assert bl.prefix_len == 24
+        assert len(bl) == 0
+
+    def test_invalid_prefix(self):
+        with pytest.raises(ValueError):
+            Blocklist(prefix_len=33)
+
+    def test_invalid_ttl(self):
+        with pytest.raises(ValueError):
+            Blocklist(default_ttl_days=0)
+
+
+class TestAddAndQuery:
+    def test_add_and_contains(self):
+        bl = Blocklist()
+        bl.add_block(BLOCK, day=10)
+        assert bl.is_blocked("62.4.9.200", day=10)
+        assert not bl.is_blocked("62.4.10.1", day=10)
+
+    def test_granularity_enforced(self):
+        bl = Blocklist(prefix_len=24)
+        with pytest.raises(ValueError):
+            bl.add_block(CIDRBlock.parse("62.4.0.0/16"), day=0)
+
+    def test_score_bounds_enforced(self):
+        bl = Blocklist()
+        with pytest.raises(ValueError):
+            bl.add_block(BLOCK, day=0, score=1.5)
+
+    def test_ttl_expiry(self):
+        bl = Blocklist(default_ttl_days=5)
+        bl.add_block(BLOCK, day=10)
+        assert bl.is_blocked("62.4.9.1", day=14)
+        assert not bl.is_blocked("62.4.9.1", day=15)
+
+    def test_custom_ttl(self):
+        bl = Blocklist(default_ttl_days=5)
+        bl.add_block(BLOCK, day=10, ttl_days=100)
+        assert bl.is_blocked("62.4.9.1", day=100)
+
+    def test_refresh_extends_ttl(self):
+        bl = Blocklist(default_ttl_days=5)
+        bl.add_block(BLOCK, day=0)
+        bl.add_block(BLOCK, day=4)
+        assert bl.is_blocked("62.4.9.1", day=8)
+        assert len(bl) == 1
+
+    def test_refresh_accumulates_score(self):
+        bl = Blocklist(score_half_life_days=1e9)  # no decay
+        bl.add_block(BLOCK, day=0, score=0.5)
+        entry = bl.add_block(BLOCK, day=1, score=0.5)
+        assert entry.score == pytest.approx(0.75)
+
+    def test_relisting_after_expiry_resets(self):
+        bl = Blocklist(default_ttl_days=5)
+        bl.add_block(BLOCK, day=0, score=0.9)
+        entry = bl.add_block(BLOCK, day=100, score=0.2)
+        assert entry.score == pytest.approx(0.2)
+        assert entry.added_day == 100
+
+    def test_remove(self):
+        bl = Blocklist()
+        bl.add_block(BLOCK, day=0)
+        assert bl.remove(BLOCK)
+        assert not bl.remove(BLOCK)
+        assert not bl.is_blocked("62.4.9.1", day=0)
+
+    def test_prune(self):
+        bl = Blocklist(default_ttl_days=5)
+        bl.add_block(BLOCK, day=0)
+        bl.add_block(OTHER, day=10)
+        assert bl.prune(day=8) == 1
+        assert len(bl) == 1
+
+    def test_entries_sorted_and_filtered(self):
+        bl = Blocklist(default_ttl_days=5)
+        bl.add_block(OTHER, day=0)
+        bl.add_block(BLOCK, day=10)
+        assert [e.block for e in bl.entries()] == [BLOCK, OTHER]
+        assert [e.block for e in bl.entries(day=12)] == [BLOCK]
+
+
+class TestDecay:
+    def test_decayed_score_half_life(self):
+        entry = BlocklistEntry(
+            block=BLOCK, added_day=0, last_seen_day=0, expiry_day=100, score=0.8
+        )
+        assert entry.decayed_score(0, half_life_days=10) == pytest.approx(0.8)
+        assert entry.decayed_score(10, half_life_days=10) == pytest.approx(0.4)
+        assert entry.decayed_score(20, half_life_days=10) == pytest.approx(0.2)
+
+    def test_no_decay_with_nonpositive_half_life(self):
+        entry = BlocklistEntry(
+            block=BLOCK, added_day=0, last_seen_day=0, expiry_day=100, score=0.8
+        )
+        assert entry.decayed_score(50, half_life_days=0) == 0.8
+
+    def test_score_of_decays(self):
+        bl = Blocklist(default_ttl_days=100, score_half_life_days=10)
+        bl.add_block(BLOCK, day=0, score=0.8)
+        assert bl.score_of("62.4.9.1", day=0) == pytest.approx(0.8)
+        assert bl.score_of("62.4.9.1", day=10) == pytest.approx(0.4)
+
+    def test_score_of_unlisted_is_zero(self):
+        bl = Blocklist()
+        assert bl.score_of("62.4.9.1", day=0) == 0.0
+
+
+class TestBulkOperations:
+    def test_add_report(self):
+        bl = Blocklist()
+        report = Report.from_addresses("r", ["62.4.9.1", "62.4.9.2", "62.4.10.1"])
+        assert bl.add_report(report, day=0) == 2
+        assert len(bl) == 2
+
+    def test_add_scores_threshold(self):
+        reports = {
+            "bots": Report.from_addresses("b", [f"62.4.9.{i}" for i in range(1, 30)]),
+            "scanning": Report.from_addresses("s", ["62.4.10.1"]),
+        }
+        scores = UncleanlinessScorer(prefix_len=24).score(reports)
+        bl = Blocklist()
+        listed = bl.add_scores(scores, day=0, threshold=0.9)
+        assert listed == 1  # only the 29-bot block clears 0.9
+        assert bl.is_blocked("62.4.9.200", day=0)
+        assert not bl.is_blocked("62.4.10.1", day=0)
+
+    def test_add_scores_granularity_mismatch(self):
+        scores = UncleanlinessScorer(prefix_len=16).score(
+            {"bots": Report.from_addresses("b", ["62.4.9.1"])}
+        )
+        with pytest.raises(ValueError):
+            Blocklist(prefix_len=24).add_scores(scores, day=0, threshold=0.0)
+
+    def test_blocked_mask_and_coverage(self):
+        bl = Blocklist()
+        bl.add_block(BLOCK, day=0)
+        report = Report.from_addresses(
+            "r", ["62.4.9.1", "62.4.9.2", "62.4.10.1", "8.8.8.8"]
+        )
+        mask = bl.blocked_mask(report.addresses, day=0)
+        assert mask.sum() == 2
+        assert bl.coverage(report, day=0) == pytest.approx(0.5)
+
+    def test_coverage_empty_report(self):
+        bl = Blocklist()
+        assert bl.coverage(Report.from_addresses("e", []), day=0) == 0.0
+
+    def test_active_networks_sorted(self):
+        bl = Blocklist()
+        bl.add_block(OTHER, day=0)
+        bl.add_block(BLOCK, day=0)
+        nets = bl.active_networks(day=0)
+        assert list(nets) == sorted([BLOCK.network, OTHER.network])
+
+
+class TestScenarioIntegration:
+    def test_blocklist_from_scenario_catches_future_bots(self, small_scenario):
+        """End-to-end: October evidence listed with a long TTL still
+        covers November's bot population (temporal uncleanliness)."""
+        from repro.sim.timeline import Window, date_to_day
+        import datetime
+
+        bl = Blocklist(default_ttl_days=60)
+        oct_day = date_to_day(datetime.date(2006, 10, 14))
+        bl.add_report(small_scenario.bot, day=oct_day)
+
+        november = Window.from_dates(
+            datetime.date(2006, 11, 1), datetime.date(2006, 11, 28)
+        )
+        future_bots = small_scenario.botnet.active_addresses(november)
+        nov_day = november.start_day
+        coverage = bl.blocked_mask(future_bots, nov_day).mean()
+        # Well above the ~2% a random equal-sized /24 list achieves.
+        assert coverage > 0.25

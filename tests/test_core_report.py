@@ -1,0 +1,176 @@
+"""Unit tests for repro.core.report."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.core.report import DataClass, Report, ReportType
+from repro.ipspace.addr import as_int
+
+
+def make(tag="t", addrs=("1.0.0.1", "2.0.0.2"), **kwargs):
+    return Report.from_addresses(tag, addrs, **kwargs)
+
+
+class TestConstruction:
+    def test_sorted_and_deduped(self):
+        report = make(addrs=["9.0.0.9", "1.0.0.1", "9.0.0.9"])
+        assert list(report.addresses) == sorted(
+            {as_int("9.0.0.9"), as_int("1.0.0.1")}
+        )
+
+    def test_len(self):
+        assert len(make(addrs=["1.0.0.1", "1.0.0.1", "2.0.0.2"])) == 2
+
+    def test_empty_report_allowed(self):
+        assert len(make(addrs=[])) == 0
+
+    def test_addresses_read_only(self):
+        report = make()
+        with pytest.raises(ValueError):
+            report.addresses[0] = 0
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ValueError):
+            make(report_type="rumour")
+
+    def test_invalid_class_rejected(self):
+        with pytest.raises(ValueError):
+            make(data_class="gossip")
+
+    def test_reversed_period_rejected(self):
+        with pytest.raises(ValueError):
+            make(period=(datetime.date(2006, 10, 14), datetime.date(2006, 10, 1)))
+
+    def test_metadata_defaults(self):
+        report = make()
+        assert report.report_type == ReportType.OBSERVED
+        assert report.data_class == DataClass.NONE
+        assert report.period is None
+
+
+class TestMembership:
+    def test_contains(self):
+        report = make(addrs=["5.5.5.5", "6.6.6.6"])
+        assert "5.5.5.5" in report
+        assert as_int("6.6.6.6") in report
+        assert "7.7.7.7" not in report
+
+    def test_contains_empty(self):
+        assert "1.2.3.4" not in make(addrs=[])
+
+    def test_iter_yields_ints(self):
+        report = make(addrs=["1.0.0.1"])
+        assert list(report) == [as_int("1.0.0.1")]
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = make("a", ["1.0.0.1", "2.0.0.2"])
+        b = make("b", ["2.0.0.2", "3.0.0.3"])
+        assert len(a | b) == 3
+
+    def test_intersection(self):
+        a = make("a", ["1.0.0.1", "2.0.0.2"])
+        b = make("b", ["2.0.0.2", "3.0.0.3"])
+        both = a & b
+        assert list(both.addresses) == [as_int("2.0.0.2")]
+        assert both.tag == "a&b"
+
+    def test_difference(self):
+        a = make("a", ["1.0.0.1", "2.0.0.2"])
+        b = make("b", ["2.0.0.2"])
+        assert list((a - b).addresses) == [as_int("1.0.0.1")]
+
+    def test_algebra_preserves_metadata(self):
+        period = (datetime.date(2006, 10, 1), datetime.date(2006, 10, 14))
+        a = make("a", ["1.0.0.1"], data_class=DataClass.BOTS, period=period)
+        b = make("b", ["2.0.0.2"])
+        merged = a.union(b, tag="merged")
+        assert merged.tag == "merged"
+        assert merged.data_class == DataClass.BOTS
+        assert merged.period == period
+
+    def test_disjoint_intersection_empty(self):
+        a = make("a", ["1.0.0.1"])
+        b = make("b", ["2.0.0.2"])
+        assert len(a & b) == 0
+
+
+class TestEquality:
+    def test_equal_reports(self):
+        assert make() == make()
+
+    def test_tag_matters(self):
+        assert make(tag="x") != make(tag="y")
+
+    def test_hashable(self):
+        assert len({make(), make()}) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert make() != "report"
+
+
+class TestSample:
+    def test_sample_size(self, rng):
+        report = make(addrs=[f"10.0.{i}.{j}" for i in range(4) for j in range(1, 50)])
+        sample = report.sample(20, rng)
+        assert len(sample) == 20
+
+    def test_sample_is_subset(self, rng):
+        report = make(addrs=[f"10.0.0.{j}" for j in range(1, 100)])
+        sample = report.sample(30, rng)
+        assert all(a in report for a in sample)
+
+    def test_sample_whole_report(self, rng):
+        report = make(addrs=["1.0.0.1", "2.0.0.2"])
+        assert len(report.sample(2, rng)) == 2
+
+    def test_oversample_rejected(self, rng):
+        with pytest.raises(ValueError):
+            make().sample(10, rng)
+
+    def test_sample_deterministic_under_seed(self):
+        report = make(addrs=[f"10.0.0.{j}" for j in range(1, 200)])
+        s1 = report.sample(50, np.random.default_rng(5))
+        s2 = report.sample(50, np.random.default_rng(5))
+        assert np.array_equal(s1.addresses, s2.addresses)
+
+
+class TestTransforms:
+    def test_without_reserved(self):
+        report = make(addrs=["192.168.1.1", "8.8.8.8", "10.0.0.1"])
+        clean = report.without_reserved()
+        assert list(clean.addresses) == [as_int("8.8.8.8")]
+
+    def test_filtered_mask_shape_checked(self):
+        report = make()
+        with pytest.raises(ValueError):
+            report.filtered(np.asarray([True]))
+
+    def test_retagged(self):
+        report = make(tag="old").retagged("new")
+        assert report.tag == "new"
+
+    def test_summary_row(self):
+        period = (datetime.date(2006, 5, 1), datetime.date(2006, 11, 1))
+        report = make(
+            "phish",
+            ["1.0.0.1"],
+            report_type=ReportType.PROVIDED,
+            data_class=DataClass.PHISHING,
+            period=period,
+        )
+        row = report.summary_row()
+        assert row == {
+            "tag": "phish",
+            "type": "provided",
+            "class": "phishing",
+            "valid_dates": "2006-05-01-2006-11-01",
+            "size": 1,
+        }
+
+    def test_head(self):
+        report = make(addrs=["2.0.0.2", "1.0.0.1"])
+        assert report.head(1) == ["1.0.0.1"]

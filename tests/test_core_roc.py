@@ -1,0 +1,97 @@
+"""Unit tests for ROC analysis (repro.core.roc)."""
+
+import numpy as np
+import pytest
+
+from repro.core.roc import ROCCurve, auc, roc_curve
+
+
+class TestROCCurve:
+    def test_perfect_classifier(self):
+        curve = roc_curve([0.9, 0.8, 0.2, 0.1], [True, True, False, False])
+        assert curve.auc() == pytest.approx(1.0)
+
+    def test_inverted_classifier(self):
+        curve = roc_curve([0.1, 0.2, 0.8, 0.9], [True, True, False, False])
+        assert curve.auc() == pytest.approx(0.0)
+
+    def test_random_classifier_half_auc(self, rng):
+        scores = rng.random(4000)
+        labels = rng.random(4000) < 0.5
+        assert abs(auc(scores, labels) - 0.5) < 0.05
+
+    def test_anchors_present(self):
+        curve = roc_curve([0.9, 0.1], [True, False])
+        assert curve.tpr[0] == 0.0 and curve.fpr[0] == 0.0
+        assert curve.tpr[-1] == 1.0 and curve.fpr[-1] == 1.0
+
+    def test_monotone_rates(self, rng):
+        scores = rng.random(500)
+        labels = rng.random(500) < 0.3
+        curve = roc_curve(scores, labels)
+        assert (np.diff(curve.tpr) >= 0).all()
+        assert (np.diff(curve.fpr) >= 0).all()
+
+    def test_tied_scores_collapse_to_one_point(self):
+        curve = roc_curve([0.5, 0.5, 0.5, 0.5], [True, False, True, False])
+        # anchor + single threshold point
+        assert curve.thresholds.size == 2
+        assert curve.tpr[-1] == 1.0 and curve.fpr[-1] == 1.0
+
+    def test_operating_point(self):
+        curve = roc_curve([0.9, 0.6, 0.3], [True, True, False])
+        point = curve.operating_point(0.6)
+        assert point["tpr"] == pytest.approx(1.0)
+        assert point["fpr"] == pytest.approx(0.0)
+
+    def test_operating_point_above_all_scores(self):
+        curve = roc_curve([0.9, 0.1], [True, False])
+        point = curve.operating_point(2.0)
+        assert point["tpr"] == 0.0 and point["fpr"] == 0.0
+
+    def test_best_youden(self):
+        curve = roc_curve([0.9, 0.8, 0.7, 0.2], [True, True, False, False])
+        best = curve.best_youden()
+        assert best["youden_j"] == pytest.approx(1.0)
+        assert best["threshold"] == pytest.approx(0.8)
+
+    def test_rows(self):
+        rows = roc_curve([0.9, 0.1], [True, False]).rows()
+        assert rows[0]["tpr"] == 0.0
+        assert rows[-1]["tpr"] == 1.0
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            roc_curve([0.1, 0.2], [True])
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_curve([0.1, 0.2], [True, True])
+        with pytest.raises(ValueError):
+            roc_curve([0.1, 0.2], [False, False])
+
+
+class TestScenarioROC:
+    def test_scored_blocking_beats_chance(self, small_scenario):
+        """Score §6 candidates with the uncleanliness metric built from
+        the *bot-test* report alone; hostile candidates must rank above
+        innocent ones (AUC well over 0.5)."""
+        from repro.core.uncleanliness import UncleanlinessScorer
+
+        part = small_scenario.partition
+        scorer = UncleanlinessScorer(prefix_len=24, weights={"bots": 1.0})
+        scores = scorer.score({"bots": small_scenario.bot_test})
+
+        candidates = np.concatenate(
+            [part.hostile.addresses, part.innocent.addresses]
+        )
+        labels = np.concatenate(
+            [
+                np.ones(len(part.hostile), dtype=bool),
+                np.zeros(len(part.innocent), dtype=bool),
+            ]
+        )
+        values = [scores.score_of(int(a)) for a in candidates]
+        assert auc(values, labels) > 0.55

@@ -1,0 +1,79 @@
+"""Unit tests for repro.core.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.report import Report
+from repro.core.sampling import empirical_subsets, monte_carlo, naive_sample
+from repro.ipspace.addr import first_octet
+from repro.ipspace.iana import allocated_octets
+from repro.ipspace.reserved import reserved_mask
+
+
+class TestNaiveSample:
+    def test_exact_unique_size(self, rng):
+        assert len(naive_sample(500, rng)) == 500
+
+    def test_only_allocated_octets(self, rng):
+        sample = naive_sample(2000, rng)
+        allocated = allocated_octets()
+        for address in sample.addresses[:200]:
+            assert first_octet(int(address)) in allocated
+
+    def test_no_reserved_addresses(self, rng):
+        sample = naive_sample(2000, rng)
+        assert not reserved_mask(sample.addresses).any()
+
+    def test_spread_over_octets(self, rng):
+        # Uniform-over-/8s: a big sample touches most allocated /8s.
+        sample = naive_sample(5000, rng)
+        octets = {first_octet(int(a)) for a in sample.addresses}
+        assert len(octets) > 0.8 * len(allocated_octets())
+
+    def test_invalid_size(self, rng):
+        with pytest.raises(ValueError):
+            naive_sample(0, rng)
+
+    def test_deterministic(self):
+        s1 = naive_sample(100, np.random.default_rng(3))
+        s2 = naive_sample(100, np.random.default_rng(3))
+        assert np.array_equal(s1.addresses, s2.addresses)
+
+
+class TestEmpiricalSubsets:
+    @pytest.fixture
+    def control(self):
+        return Report.from_addresses(
+            "control", [f"60.{i}.{j}.{k}" for i in range(4) for j in range(10) for k in range(1, 26)]
+        )
+
+    def test_count_and_size(self, control, rng):
+        subsets = list(empirical_subsets(control, 50, 7, rng))
+        assert len(subsets) == 7
+        assert all(len(s) == 50 for s in subsets)
+
+    def test_subsets_of_control(self, control, rng):
+        for subset in empirical_subsets(control, 30, 3, rng):
+            assert all(a in control for a in subset)
+
+    def test_subsets_differ(self, control, rng):
+        a, b = list(empirical_subsets(control, 100, 2, rng))
+        assert not np.array_equal(a.addresses, b.addresses)
+
+    def test_invalid_count(self, control, rng):
+        with pytest.raises(ValueError):
+            list(empirical_subsets(control, 10, 0, rng))
+
+    def test_tags_are_indexed(self, control, rng):
+        tags = [s.tag for s in empirical_subsets(control, 5, 3, rng)]
+        assert tags == ["control[0]", "control[1]", "control[2]"]
+
+
+class TestMonteCarlo:
+    def test_statistic_applied_per_subset(self, rng):
+        control = Report.from_addresses(
+            "control", [f"60.0.0.{k}" for k in range(1, 200)]
+        )
+        values = monte_carlo(control, 10, 25, rng, statistic=len)
+        assert values.shape == (25,)
+        assert (values == 10).all()

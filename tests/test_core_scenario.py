@@ -1,0 +1,149 @@
+"""Unit/integration tests for the end-to-end scenario builder."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.core.report import DataClass, ReportType
+from repro.core.scenario import PaperScenario, ScenarioConfig
+from repro.ipspace.reserved import reserved_mask
+from repro.sim.timeline import PAPER_WINDOWS
+
+
+class TestConfig:
+    def test_default_valid(self):
+        ScenarioConfig().validate()
+
+    def test_small_valid(self):
+        ScenarioConfig.small().validate()
+
+    def test_bot_test_channel_must_be_disjoint(self):
+        from dataclasses import replace
+
+        config = replace(ScenarioConfig.small(), bot_test_channel=0)
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_channel_out_of_range(self):
+        from dataclasses import replace
+
+        config = replace(ScenarioConfig.small(), bot_test_channel=99)
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_invalid_sizes(self):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            replace(ScenarioConfig.small(), control_size=0).validate()
+        with pytest.raises(ValueError):
+            replace(ScenarioConfig.small(), bot_test_size=0).validate()
+
+
+class TestReports:
+    def test_all_tags_present(self, small_scenario):
+        expected = {
+            "bot", "phish", "scan", "spam", "bot-test", "phish-test",
+            "phish-present", "control", "unclean",
+        }
+        assert expected <= set(small_scenario.reports)
+
+    def test_report_lookup_error(self, small_scenario):
+        with pytest.raises(KeyError):
+            small_scenario.report("nonsense")
+
+    def test_no_report_contains_reserved_addresses(self, small_scenario):
+        for report in small_scenario.reports.values():
+            assert not reserved_mask(report.addresses).any(), report.tag
+
+    def test_no_report_contains_observed_addresses(self, small_scenario):
+        observed = small_scenario.internet.observed_network
+        for report in small_scenario.reports.values():
+            octets = report.addresses >> 24
+            assert not (octets == (observed.first_address >> 24)).any(), report.tag
+
+    def test_table1_metadata(self, small_scenario):
+        bot = small_scenario.bot
+        assert bot.report_type == ReportType.PROVIDED
+        assert bot.data_class == DataClass.BOTS
+        assert bot.period == PAPER_WINDOWS.OCTOBER.dates()
+        scan = small_scenario.scan
+        assert scan.report_type == ReportType.OBSERVED
+        assert scan.data_class == DataClass.SCANNING
+
+    def test_bot_test_metadata(self, small_scenario):
+        bot_test = small_scenario.bot_test
+        assert bot_test.period == (
+            datetime.date(2006, 5, 10),
+            datetime.date(2006, 5, 10),
+        )
+        assert len(bot_test) <= small_scenario.config.bot_test_size
+
+    def test_unclean_is_union(self, small_scenario):
+        union = (
+            small_scenario.bot
+            | small_scenario.phish
+            | small_scenario.scan
+            | small_scenario.spam
+        )
+        assert np.array_equal(small_scenario.unclean.addresses, union.addresses)
+
+    def test_control_size(self, small_scenario):
+        assert len(small_scenario.control) == small_scenario.config.control_size
+
+    def test_scan_report_is_detector_output_on_fast_scanners(self, small_scenario):
+        truth = set(
+            small_scenario.october_traffic.ground_truth("fast_scanners").tolist()
+        )
+        detected = set(int(a) for a in small_scenario.scan.addresses)
+        assert truth == detected
+
+    def test_bot_report_only_covered_channels(self, small_scenario):
+        config = small_scenario.config
+        covered = small_scenario.botnet.active_addresses(
+            PAPER_WINDOWS.OCTOBER, channels=config.bot_report_channels
+        )
+        assert set(int(a) for a in small_scenario.bot.addresses) <= set(
+            covered.tolist()
+        )
+
+    def test_phish_present_subset_of_sites(self, small_scenario):
+        sites = set(small_scenario.phishing.address.tolist())
+        assert set(int(a) for a in small_scenario.phish_present.addresses) <= sites
+
+    def test_table1_rows_order(self, small_scenario):
+        tags = [row["tag"] for row in small_scenario.table1_rows()]
+        assert tags == ["bot", "phish", "scan", "spam", "bot-test", "control"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_reports(self):
+        a = PaperScenario(ScenarioConfig.small(seed=31))
+        b = PaperScenario(ScenarioConfig.small(seed=31))
+        for tag in a.reports:
+            assert np.array_equal(
+                a.reports[tag].addresses, b.reports[tag].addresses
+            ), tag
+
+    def test_different_seed_different_reports(self):
+        a = PaperScenario(ScenarioConfig.small(seed=31))
+        b = PaperScenario(ScenarioConfig.small(seed=32))
+        assert not np.array_equal(a.bot.addresses, b.bot.addresses)
+
+
+class TestBlocking:
+    def test_partition_cached(self, small_scenario):
+        assert small_scenario.partition is small_scenario.partition
+
+    def test_partition_candidates_have_tcp_traffic(self, small_scenario):
+        tcp_sources = set(
+            small_scenario.october_traffic.flows.tcp_only().unique_sources().tolist()
+        )
+        assert set(int(a) for a in small_scenario.partition.candidate.addresses) <= (
+            tcp_sources
+        )
+
+    def test_blocking_rows_cover_band(self, small_scenario):
+        result = small_scenario.blocking()
+        assert [r.prefix for r in result.rows] == list(range(24, 33))

@@ -1,0 +1,57 @@
+"""Unit tests for repro.core.stats."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import BoxplotSummary, exceedance_fraction, summarize
+
+
+class TestSummarize:
+    def test_five_number_summary(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.minimum == 1
+        assert s.median == 3
+        assert s.maximum == 5
+        assert s.mean == 3
+        assert s.count == 5
+
+    def test_single_value(self):
+        s = summarize([7])
+        assert s.minimum == s.median == s.maximum == 7
+
+    def test_quantile_ordering(self, rng):
+        s = summarize(rng.normal(size=500))
+        assert (
+            s.minimum <= s.q05 <= s.q25 <= s.median <= s.q75 <= s.q95 <= s.maximum
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict_keys(self):
+        d = summarize([1, 2]).as_dict()
+        assert set(d) == {"min", "q05", "q25", "median", "q75", "q95", "max", "mean", "count"}
+
+
+class TestExceedance:
+    def test_all_below(self):
+        assert exceedance_fraction(10, [1, 2, 3]) == 1.0
+
+    def test_all_above(self):
+        assert exceedance_fraction(0, [1, 2, 3]) == 0.0
+
+    def test_ties_do_not_count(self):
+        # The paper's criterion is strict: "higher than".
+        assert exceedance_fraction(2, [2, 2, 2, 2]) == 0.0
+
+    def test_mixed(self):
+        assert exceedance_fraction(2.5, [1, 2, 3, 4]) == 0.5
+
+    def test_95_percent_criterion(self):
+        controls = list(range(100))  # 0..99
+        assert exceedance_fraction(95, controls) == 0.95
+
+    def test_empty_control_rejected(self):
+        with pytest.raises(ValueError):
+            exceedance_fraction(1, [])

@@ -1,0 +1,46 @@
+"""Unit tests for the C&C channel monitor."""
+
+import numpy as np
+import pytest
+
+from repro.detect.botlog import BotLogConfig, BotLogMonitor
+from repro.sim.timeline import Window
+
+
+class TestObserve:
+    def test_full_observation_matches_membership(self, tiny_botnet, rng):
+        window = Window(100, 113)
+        monitor = BotLogMonitor(BotLogConfig(observation_probability=1.0))
+        observed = monitor.observe(tiny_botnet, window, rng)
+        expected = tiny_botnet.active_addresses(window)
+        assert np.array_equal(observed, expected)
+
+    def test_channel_restriction(self, tiny_botnet, rng):
+        window = Window(100, 113)
+        monitor = BotLogMonitor(BotLogConfig(observation_probability=1.0))
+        observed = monitor.observe(tiny_botnet, window, rng, channels=[0, 1])
+        expected = tiny_botnet.active_addresses(window, channels=[0, 1])
+        assert np.array_equal(observed, expected)
+
+    def test_partial_observation_subsets(self, tiny_botnet, rng):
+        window = Window(100, 160)
+        monitor = BotLogMonitor(BotLogConfig(observation_probability=0.5))
+        observed = monitor.observe(tiny_botnet, window, rng)
+        full = set(tiny_botnet.active_addresses(window).tolist())
+        assert set(observed.tolist()) <= full
+        if len(full) > 50:
+            assert 0.3 * len(full) < observed.size < 0.7 * len(full)
+
+    def test_empty_window(self, tiny_botnet, rng):
+        # A window before any compromise can be empty; handled gracefully.
+        monitor = BotLogMonitor()
+        observed = monitor.observe(
+            tiny_botnet, Window(0, 0), rng, channels=[0]
+        )
+        assert observed.size <= tiny_botnet.channel_members(0, Window(0, 0)).size
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            BotLogConfig(observation_probability=0.0).validate()
+        with pytest.raises(ValueError):
+            BotLogConfig(observation_probability=1.1).validate()

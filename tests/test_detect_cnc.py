@@ -1,0 +1,117 @@
+"""Unit tests for the sinkhole / C&C rendezvous monitor (§7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.detect.cnc import IRC_PORTS, SinkholeConfig, SinkholeMonitor
+from repro.flows.generator import TrafficConfig, TrafficGenerator
+from repro.flows.log import FlowBatch, FlowLog
+from repro.flows.record import Protocol, TCPFlags
+from repro.sim.timeline import Window
+
+ACKED = TCPFlags.SYN | TCPFlags.ACK | TCPFlags.PSH
+
+SINKHOLE = 0x1EC80A0A
+OTHER_DST = 0x1E000001
+
+
+def build_log(entries):
+    """entries: (src, dst, dst_port[, protocol])."""
+    batch = FlowBatch()
+    for i, entry in enumerate(entries):
+        src, dst, port = entry[:3]
+        proto = entry[3] if len(entry) > 3 else Protocol.TCP
+        batch.add(src, dst, 40000, port, proto, 5, 500, ACKED, float(i))
+    return FlowLog.from_batches([batch])
+
+
+class TestMonitor:
+    def test_repeated_rendezvous_detected(self):
+        log = build_log([(7, SINKHOLE, 6667), (7, SINKHOLE, 6667)])
+        assert list(SinkholeMonitor().detect(log, [SINKHOLE])) == [7]
+
+    def test_single_contact_ignored(self):
+        log = build_log([(7, SINKHOLE, 6667)])
+        assert SinkholeMonitor().detect(log, [SINKHOLE]).size == 0
+
+    def test_min_contacts_configurable(self):
+        log = build_log([(7, SINKHOLE, 6667)])
+        monitor = SinkholeMonitor(SinkholeConfig(min_contacts=1))
+        assert list(monitor.detect(log, [SINKHOLE])) == [7]
+
+    def test_non_irc_port_ignored_by_default(self):
+        log = build_log([(7, SINKHOLE, 80), (7, SINKHOLE, 80)])
+        assert SinkholeMonitor().detect(log, [SINKHOLE]).size == 0
+
+    def test_non_irc_port_caught_when_relaxed(self):
+        log = build_log([(7, SINKHOLE, 80), (7, SINKHOLE, 80)])
+        monitor = SinkholeMonitor(SinkholeConfig(require_irc_port=False))
+        assert list(monitor.detect(log, [SINKHOLE])) == [7]
+
+    def test_other_destinations_ignored(self):
+        log = build_log([(7, OTHER_DST, 6667), (7, OTHER_DST, 6667)])
+        assert SinkholeMonitor().detect(log, [SINKHOLE]).size == 0
+
+    def test_udp_ignored(self):
+        log = build_log([(7, SINKHOLE, 6667, Protocol.UDP)] * 3)
+        assert SinkholeMonitor().detect(log, [SINKHOLE]).size == 0
+
+    def test_empty_inputs(self):
+        assert SinkholeMonitor().detect(FlowLog.empty(), [SINKHOLE]).size == 0
+        log = build_log([(7, SINKHOLE, 6667)] * 2)
+        assert SinkholeMonitor().detect(log, []).size == 0
+
+    def test_all_irc_ports_accepted(self):
+        for port in IRC_PORTS:
+            log = build_log([(7, SINKHOLE, port)] * 2)
+            assert SinkholeMonitor().detect(log, [SINKHOLE]).size == 1, port
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SinkholeConfig(min_contacts=0).validate()
+
+
+class TestGeneratorIntegration:
+    @pytest.fixture(scope="class")
+    def sinkholed_traffic(self, tiny_internet, tiny_botnet):
+        config = TrafficConfig(
+            benign_clients_per_day=20,
+            suspicious_hosts=50,
+            sinkholed_channels=(2, 5),
+        )
+        generator = TrafficGenerator(tiny_internet, tiny_botnet, config)
+        window = Window(270, 283)
+        return generator, generator.generate(window, np.random.default_rng(7)), window
+
+    def test_sinkholes_inside_observed_network(self, sinkholed_traffic, tiny_internet):
+        generator, _, _ = sinkholed_traffic
+        for address in generator.sinkhole_addresses():
+            assert tiny_internet.is_observed(int(address))
+
+    def test_sinkhole_of_channel(self, sinkholed_traffic):
+        generator, _, _ = sinkholed_traffic
+        assert generator.sinkhole_of_channel(2) == int(generator.sinkhole_addresses()[0])
+        with pytest.raises(ValueError):
+            generator.sinkhole_of_channel(0)
+
+    def test_monitor_recovers_sinkholed_bots(self, sinkholed_traffic, tiny_botnet):
+        generator, traffic, window = sinkholed_traffic
+        detected = SinkholeMonitor().detect(
+            traffic.flows, generator.sinkhole_addresses()
+        )
+        truth = set(traffic.ground_truth("cnc").tolist())
+        assert truth, "no sinkholed bots in window"
+        # High recall (a bot with a single contact may be below threshold)
+        # and no false positives.
+        assert len(set(detected.tolist()) & truth) >= 0.8 * len(truth)
+        assert set(detected.tolist()) <= truth
+
+    def test_cnc_sources_are_channel_members(self, sinkholed_traffic, tiny_botnet):
+        _, traffic, window = sinkholed_traffic
+        members = set(
+            tiny_botnet.active_addresses(window, channels=[2, 5]).tolist()
+        )
+        assert set(traffic.ground_truth("cnc").tolist()) <= members
+
+    def test_no_sinkholes_no_cnc_traffic(self, tiny_traffic):
+        assert tiny_traffic.ground_truth("cnc").size == 0

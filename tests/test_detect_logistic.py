@@ -1,0 +1,152 @@
+"""Unit tests for logistic-regression scan detection (Gates et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.detect.logistic import FEATURE_NAMES, LogisticScanModel, extract_features
+from repro.flows.generator import TrafficConfig, TrafficGenerator
+from repro.flows.log import FlowBatch, FlowLog
+from repro.flows.record import Protocol, TCPFlags
+from repro.sim.timeline import Window
+
+ACKED = TCPFlags.SYN | TCPFlags.ACK | TCPFlags.PSH
+
+
+def build_log(entries):
+    """entries: (src, dst, dst_port, packets, octets, flags)."""
+    batch = FlowBatch()
+    for i, (src, dst, port, packets, octets, flags) in enumerate(entries):
+        batch.add(src, dst, 40000, port, Protocol.TCP, packets, octets, flags, float(i))
+    return FlowLog.from_batches([batch])
+
+
+def scanner_entries(src=7, targets=50):
+    return [
+        (src, 0x10000000 + (t << 8), 445, 3, 156, TCPFlags.SYN)
+        for t in range(targets)
+    ]
+
+
+def client_entries(src=8, flows=6):
+    return [
+        (src, 0x10000001, 80, 20, 8000, ACKED)
+        for _ in range(flows)
+    ]
+
+
+class TestFeatures:
+    def test_shape_and_order(self):
+        log = build_log(scanner_entries() + client_entries())
+        sources, features = extract_features(log)
+        assert list(sources) == [7, 8]
+        assert features.shape == (2, len(FEATURE_NAMES))
+
+    def test_scanner_features(self):
+        log = build_log(scanner_entries(targets=50))
+        sources, features = extract_features(log)
+        row = dict(zip(FEATURE_NAMES, features[0]))
+        assert row["log_fanout"] == pytest.approx(np.log(51))
+        assert row["failed_fraction"] == 1.0
+        assert row["port_concentration"] == 1.0
+        assert row["payload_fraction"] == 0.0
+        assert row["dst_spread"] == 1.0  # every target in its own /24
+
+    def test_client_features(self):
+        log = build_log(client_entries(flows=6))
+        sources, features = extract_features(log)
+        row = dict(zip(FEATURE_NAMES, features[0]))
+        assert row["failed_fraction"] == 0.0
+        assert row["payload_fraction"] == 1.0
+        assert row["log_fanout"] == pytest.approx(np.log(2))
+
+    def test_empty_log(self):
+        sources, features = extract_features(FlowLog.empty())
+        assert sources.size == 0
+        assert features.shape == (0, len(FEATURE_NAMES))
+
+    def test_udp_ignored(self):
+        batch = FlowBatch()
+        batch.add(9, 1, 1, 53, Protocol.UDP, 2, 200, 0, 0.0)
+        log = FlowLog.from_batches([batch])
+        sources, _ = extract_features(log)
+        assert sources.size == 0
+
+
+class TestModel:
+    def test_separable_training_data(self):
+        log = build_log(
+            sum((scanner_entries(src=100 + i) for i in range(8)), [])
+            + sum((client_entries(src=200 + i) for i in range(8)), [])
+        )
+        truth = np.asarray([100 + i for i in range(8)], dtype=np.uint32)
+        model = LogisticScanModel().fit_from_truth(log, truth)
+        detected = model.detect(log)
+        assert set(detected.tolist()) == set(truth.tolist())
+
+    def test_probabilities_ordered(self):
+        log = build_log(scanner_entries(src=7) + client_entries(src=8))
+        truth = np.asarray([7], dtype=np.uint32)
+        training = build_log(
+            sum((scanner_entries(src=100 + i) for i in range(6)), [])
+            + sum((client_entries(src=200 + i) for i in range(6)), [])
+        )
+        model = LogisticScanModel().fit_from_truth(
+            training, np.asarray([100 + i for i in range(6)], dtype=np.uint32)
+        )
+        scores = model.score_sources(log)
+        assert scores[7] > scores[8]
+
+    def test_unfitted_model_raises(self):
+        model = LogisticScanModel()
+        with pytest.raises(RuntimeError):
+            model.detect(build_log(client_entries()))
+
+    def test_single_class_training_rejected(self):
+        log = build_log(client_entries(src=8))
+        with pytest.raises(ValueError):
+            LogisticScanModel().fit_from_truth(log, np.asarray([], dtype=np.uint32))
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            LogisticScanModel(iterations=0)
+        with pytest.raises(ValueError):
+            LogisticScanModel(threshold=1.0)
+
+    def test_coefficients_exposed(self):
+        log = build_log(scanner_entries(src=7) + client_entries(src=8))
+        model = LogisticScanModel().fit_from_truth(
+            log, np.asarray([7], dtype=np.uint32)
+        )
+        coefficients = {row["feature"]: row["weight"] for row in model.coefficients()}
+        assert set(coefficients) == set(FEATURE_NAMES)
+        # Failed connections are the classic scan signal.
+        assert coefficients["failed_fraction"] > 0
+
+
+class TestGeneratorIntegration:
+    def test_cross_window_generalisation(self, tiny_internet, tiny_botnet):
+        """Train on one fortnight, detect on another: recall on fast
+        scanners stays high and benign false positives stay near zero."""
+        config = TrafficConfig(benign_clients_per_day=40, suspicious_hosts=100)
+        generator = TrafficGenerator(tiny_internet, tiny_botnet, config)
+        train = generator.generate(Window(230, 243), np.random.default_rng(1))
+        test = generator.generate(Window(260, 273), np.random.default_rng(2))
+
+        model = LogisticScanModel().fit_from_truth(
+            train.flows, train.ground_truth("fast_scanners")
+        )
+        detected = set(model.detect(test.flows).tolist())
+        truth = set(test.ground_truth("fast_scanners").tolist())
+        if not truth:
+            pytest.skip("no fast scanners in test window")
+        recall = len(detected & truth) / len(truth)
+        assert recall > 0.8
+
+        hostile = truth | {
+            int(a)
+            for name in ("slow_scanners", "ephemeral", "suspicious", "spammers")
+            for a in test.ground_truth(name)
+        }
+        benign_only = set(test.ground_truth("benign").tolist()) - hostile
+        false_positives = len(detected & benign_only) / max(len(benign_only), 1)
+        assert false_positives < 0.05

@@ -1,0 +1,57 @@
+"""Unit tests for the phishing list aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.detect.phishlist import PhishListAggregator, PhishListConfig
+from repro.sim.timeline import Window
+
+
+class TestObserve:
+    def test_listed_sites_subset_of_history(self, tiny_phishing, rng):
+        aggregator = PhishListAggregator()
+        listed = aggregator.observe(tiny_phishing, Window(100, 160), rng)
+        assert set(listed.tolist()) <= set(tiny_phishing.address.tolist())
+
+    def test_full_reporting_no_lag_lists_everything_live(self, tiny_phishing, rng):
+        config = PhishListConfig(report_probability=1.0, mean_report_lag_days=0.0)
+        aggregator = PhishListAggregator(config)
+        window = Window(0, tiny_phishing.config.horizon_days - 1)
+        listed = aggregator.observe(tiny_phishing, window, rng)
+        assert listed.size == np.unique(tiny_phishing.address).size
+
+    def test_partial_reporting_misses_sites(self, tiny_phishing):
+        window = Window(0, tiny_phishing.config.horizon_days - 1)
+        full = PhishListAggregator(
+            PhishListConfig(report_probability=1.0, mean_report_lag_days=0.0)
+        ).observe(tiny_phishing, window, np.random.default_rng(1))
+        partial = PhishListAggregator(
+            PhishListConfig(report_probability=0.4, mean_report_lag_days=0.0)
+        ).observe(tiny_phishing, window, np.random.default_rng(1))
+        assert partial.size < full.size
+
+    def test_lag_pushes_listings_later(self, tiny_phishing):
+        early = Window(0, 60)
+        lagless = PhishListAggregator(
+            PhishListConfig(report_probability=1.0, mean_report_lag_days=0.0)
+        ).observe(tiny_phishing, early, np.random.default_rng(2))
+        lagged = PhishListAggregator(
+            PhishListConfig(report_probability=1.0, mean_report_lag_days=20.0)
+        ).observe(tiny_phishing, early, np.random.default_rng(2))
+        assert lagged.size <= lagless.size
+
+    def test_deterministic(self, tiny_phishing):
+        window = Window(100, 160)
+        a = PhishListAggregator().observe(
+            tiny_phishing, window, np.random.default_rng(3)
+        )
+        b = PhishListAggregator().observe(
+            tiny_phishing, window, np.random.default_rng(3)
+        )
+        assert np.array_equal(a, b)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PhishListConfig(report_probability=0.0).validate()
+        with pytest.raises(ValueError):
+            PhishListConfig(mean_report_lag_days=-1.0).validate()

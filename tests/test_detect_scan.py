@@ -1,0 +1,114 @@
+"""Unit tests for the hourly fan-out scan detector."""
+
+import numpy as np
+import pytest
+
+from repro.detect.scan import ScanDetector, ScanDetectorConfig
+from repro.flows.log import FlowBatch, FlowLog
+from repro.flows.record import Protocol, TCPFlags
+
+ACKED = TCPFlags.SYN | TCPFlags.ACK | TCPFlags.PSH
+
+
+def build_log(entries):
+    """entries: (src, dst, flags, start_time[, protocol])."""
+    batch = FlowBatch()
+    for entry in entries:
+        src, dst, flags, start = entry[:4]
+        proto = entry[4] if len(entry) > 4 else Protocol.TCP
+        batch.add(src, dst, 40000, 445, proto, 3, 156, flags, start)
+    return FlowLog.from_batches([batch])
+
+
+def sweep(src, targets, hour, flags=TCPFlags.SYN):
+    base = hour * 3600.0
+    return [(src, 1000 + t, flags, base + t) for t in range(targets)]
+
+
+class TestDetection:
+    def test_fast_sweep_detected(self):
+        log = build_log(sweep(7, 40, hour=2))
+        assert list(ScanDetector().detect(log)) == [7]
+
+    def test_exact_threshold_detected(self):
+        config = ScanDetectorConfig(min_targets=30)
+        log = build_log(sweep(7, 30, hour=2))
+        assert list(ScanDetector(config).detect(log)) == [7]
+
+    def test_below_threshold_missed(self):
+        log = build_log(sweep(7, 29, hour=2))
+        assert ScanDetector().detect(log).size == 0
+
+    def test_slow_scan_across_hours_missed(self):
+        # 48 targets but spread over 24 hours: 2/hour, under the floor.
+        entries = []
+        for hour in range(24):
+            entries.extend(sweep(7, 2, hour=hour))
+        # distinct targets per sweep call collide; rebuild with unique dsts
+        entries = [
+            (7, 5000 + i, TCPFlags.SYN, i * 1800.0) for i in range(48)
+        ]
+        log = build_log(entries)
+        assert ScanDetector().detect(log).size == 0
+
+    def test_successful_fanout_not_flagged(self):
+        # A busy proxy talks to 40 hosts in an hour but completes its
+        # connections — the failed-fraction gate holds.
+        log = build_log(sweep(7, 40, hour=2, flags=ACKED))
+        assert ScanDetector().detect(log).size == 0
+
+    def test_mixed_sources(self):
+        entries = sweep(7, 40, hour=2) + sweep(8, 5, hour=2)
+        log = build_log(entries)
+        assert list(ScanDetector().detect(log)) == [7]
+
+    def test_udp_ignored(self):
+        entries = [
+            (7, 1000 + t, TCPFlags.SYN, 7200.0 + t, Protocol.UDP) for t in range(40)
+        ]
+        log = build_log(entries)
+        assert ScanDetector().detect(log).size == 0
+
+    def test_empty_log(self):
+        assert ScanDetector().detect(FlowLog.empty()).size == 0
+
+    def test_repeat_contacts_do_not_inflate_fanout(self):
+        # 40 flows to ONE destination is not a scan.
+        entries = [(7, 1000, TCPFlags.SYN, 7200.0 + t) for t in range(40)]
+        log = build_log(entries)
+        assert ScanDetector().detect(log).size == 0
+
+    def test_failed_fraction_boundary(self):
+        # Exactly half failed at the default 0.5 floor: flagged.
+        entries = sweep(7, 20, hour=2, flags=TCPFlags.SYN) + sweep(
+            7, 20, hour=2, flags=ACKED
+        )
+        # Make destinations disjoint between halves.
+        entries = [
+            (7, 1000 + t, TCPFlags.SYN, 7200.0 + t) for t in range(20)
+        ] + [
+            (7, 2000 + t, ACKED, 7200.0 + t) for t in range(20)
+        ]
+        log = build_log(entries)
+        assert list(ScanDetector().detect(log)) == [7]
+
+    def test_generator_fast_scanners_detected(self, tiny_traffic):
+        detected = set(ScanDetector().detect(tiny_traffic.flows).tolist())
+        truth = set(tiny_traffic.ground_truth("fast_scanners").tolist())
+        assert truth <= detected
+
+    def test_generator_slow_scanners_missed(self, tiny_traffic):
+        detected = set(ScanDetector().detect(tiny_traffic.flows).tolist())
+        fast = set(tiny_traffic.ground_truth("fast_scanners").tolist())
+        slow = set(tiny_traffic.ground_truth("slow_scanners").tolist()) - fast
+        assert not (slow & detected)
+
+
+class TestConfig:
+    def test_invalid_targets(self):
+        with pytest.raises(ValueError):
+            ScanDetectorConfig(min_targets=0).validate()
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            ScanDetectorConfig(min_failed_fraction=1.5).validate()

@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are the adoption surface; these tests execute each one's
+``main()`` in-process (stdout captured by pytest) so API drift breaks the
+build instead of the README.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "blocklist_prediction",
+    "virtual_blocking",
+    "uncleanliness_scores",
+    "cnc_sinkhole",
+    "weekly_tracking",
+    "scan_detector_comparison",
+]
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_all_examples_present():
+    found = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert found == set(EXAMPLES)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100  # every example narrates its result

@@ -1,0 +1,60 @@
+"""Unit tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.experiments.plotting import horizontal_bars, series_panel, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▆█"
+
+    def test_flat_zero_series(self):
+        assert sparkline([0, 0, 0]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_shared_maximum(self):
+        # With a larger external maximum the same series renders lower.
+        assert sparkline([1, 2], maximum=8) != sparkline([1, 2])
+
+    def test_length_matches_input(self):
+        assert len(sparkline(range(17))) == 17
+
+
+class TestHorizontalBars:
+    def test_rendering(self):
+        text = horizontal_bars(
+            [{"k": "aa", "v": 2}, {"k": "b", "v": 1}], "k", "v", width=4
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("aa  ████")
+        assert lines[1].startswith("b   ██")
+
+    def test_empty(self):
+        assert horizontal_bars([], "k", "v") == "(no rows)"
+
+    def test_zero_values(self):
+        text = horizontal_bars([{"k": "a", "v": 0}], "k", "v", width=4)
+        assert "█" not in text
+
+
+class TestSeriesPanel:
+    def test_multiple_series_aligned(self):
+        text = series_panel({"long name": [1, 2], "s": [2, 1]})
+        lines = text.splitlines()
+        # Sparklines start at the same column despite label widths.
+        assert lines[0].index("▅") == lines[1].index("█")
+        assert "[1 .. 2]" in lines[0]
+
+    def test_shared_scale(self):
+        independent = series_panel({"a": [1], "b": [10]})
+        shared = series_panel({"a": [1], "b": [10]}, shared_scale=True)
+        assert independent != shared
+
+    def test_empty_series(self):
+        assert "(empty)" in series_panel({"a": []})
+
+    def test_no_series(self):
+        assert series_panel({}) == "(no series)"

@@ -1,0 +1,170 @@
+"""Unit tests for the border traffic generator."""
+
+import numpy as np
+import pytest
+
+from repro.flows.generator import TrafficConfig, TrafficGenerator
+from repro.flows.record import Protocol, TCPFlags
+from repro.sim.timeline import DAY_SECONDS, PAPER_WINDOWS
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        TrafficConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_servers", 0),
+            ("num_mail_servers", 0),
+            ("num_mail_servers", 99),
+            ("scan_participation", 1.5),
+            ("suspicious_hosts", -1),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            replace(TrafficConfig(num_servers=10), **{field: value}).validate()
+
+
+class TestServers:
+    def test_servers_inside_observed_network(self, tiny_internet, tiny_botnet):
+        generator = TrafficGenerator(tiny_internet, tiny_botnet)
+        for server in generator.server_addresses():
+            assert tiny_internet.is_observed(int(server))
+
+    def test_mail_servers_are_prefix_of_servers(self, tiny_internet, tiny_botnet):
+        generator = TrafficGenerator(tiny_internet, tiny_botnet)
+        servers = generator.server_addresses()
+        mail = generator.mail_server_addresses()
+        assert list(mail) == list(servers[: len(mail)])
+
+
+class TestGenerate:
+    def test_populations_present(self, tiny_traffic):
+        assert set(tiny_traffic.populations) == {
+            "benign",
+            "fast_scanners",
+            "spammers",
+            "slow_scanners",
+            "ephemeral",
+            "suspicious",
+            "cnc",
+        }
+
+    def test_all_flows_inbound(self, tiny_traffic, tiny_internet):
+        # Every source is external, every destination internal.
+        src_octets = tiny_traffic.flows.src_addr >> 24
+        dst_octets = tiny_traffic.flows.dst_addr >> 24
+        observed = tiny_internet.config.observed_octet
+        assert (src_octets != observed).all()
+        assert (dst_octets == observed).all()
+
+    def test_flows_within_window(self, tiny_traffic):
+        window = tiny_traffic.window
+        start = tiny_traffic.flows.start_time
+        assert (start >= window.start_second).all()
+        assert (start < window.end_second + 3600).all()  # bursts spill an hour
+
+    def test_sources_match_ground_truth(self, tiny_traffic):
+        all_truth = np.concatenate(list(tiny_traffic.populations.values()))
+        log_sources = tiny_traffic.flows.unique_sources()
+        assert set(log_sources.tolist()) == set(np.unique(all_truth).tolist())
+
+    def test_benign_flows_payload_bearing(self, tiny_traffic):
+        benign = tiny_traffic.ground_truth("benign")
+        hostile = np.concatenate(
+            [tiny_traffic.ground_truth(k) for k in
+             ("fast_scanners", "spammers", "slow_scanners", "ephemeral", "suspicious")]
+        )
+        pure_benign = np.setdiff1d(benign, hostile)
+        flows = tiny_traffic.flows.from_sources(pure_benign)
+        assert flows.payload_bearing_mask().all()
+
+    def test_fast_scanners_sweep_in_an_hour(self, tiny_traffic):
+        scanners = tiny_traffic.ground_truth("fast_scanners")
+        others = np.concatenate(
+            [tiny_traffic.ground_truth(k) for k in
+             ("benign", "spammers", "slow_scanners", "ephemeral", "suspicious")]
+        )
+        pure = np.setdiff1d(scanners, others)
+        if pure.size == 0:
+            pytest.skip("no pure fast scanner in tiny sample")
+        flows = tiny_traffic.flows.from_sources(pure[:1])
+        hours = (flows.start_time // 3600).astype(np.int64)
+        best = max(
+            np.unique(flows.dst_addr[hours == h]).size for h in np.unique(hours)
+        )
+        assert best >= 30  # above the detector floor
+
+    def test_slow_scanners_stay_under_30_per_day(self, tiny_traffic):
+        slow = np.setdiff1d(
+            tiny_traffic.ground_truth("slow_scanners"),
+            np.concatenate([
+                tiny_traffic.ground_truth("fast_scanners"),
+                tiny_traffic.ground_truth("benign"),
+                tiny_traffic.ground_truth("spammers"),
+                tiny_traffic.ground_truth("ephemeral"),
+                tiny_traffic.ground_truth("suspicious"),
+            ]),
+        )
+        if slow.size == 0:
+            pytest.skip("no pure slow scanner in tiny sample")
+        flows = tiny_traffic.flows.from_sources(slow)
+        days = (flows.start_time // DAY_SECONDS).astype(np.int64)
+        for source in slow[:10]:
+            mine = flows.select(flows.src_addr == source)
+            mine_days = (mine.start_time // DAY_SECONDS).astype(np.int64)
+            for day in np.unique(mine_days):
+                targets = np.unique(mine.dst_addr[mine_days == day]).size
+                assert targets < 30
+
+    def test_scan_flows_never_payload_bearing(self, tiny_traffic):
+        flows = tiny_traffic.flows
+        syn_only = flows.select((flows.tcp_flags == TCPFlags.SYN))
+        assert not syn_only.payload_bearing_mask().any()
+
+    def test_spam_flows_hit_mail_servers(self, tiny_traffic, tiny_internet, tiny_botnet):
+        generator = TrafficGenerator(tiny_internet, tiny_botnet)
+        mail = set(generator.mail_server_addresses().tolist())
+        flows = tiny_traffic.flows
+        smtp = flows.select(
+            (flows.dst_port == 25) & flows.payload_bearing_mask()
+        )
+        spammers = set(tiny_traffic.ground_truth("spammers").tolist())
+        smtp_from_spammers = smtp.select(
+            np.isin(smtp.src_addr, np.asarray(sorted(spammers), dtype=np.uint32))
+        )
+        if len(smtp_from_spammers):
+            assert set(smtp_from_spammers.dst_addr.tolist()) <= mail
+
+    def test_ephemeral_flows_have_no_payload(self, tiny_traffic):
+        flows = tiny_traffic.flows
+        high_high = flows.select(
+            (flows.src_port >= 1024) & (flows.dst_port >= 1024)
+            & ((flows.tcp_flags & TCPFlags.PSH) == 0)
+            & (flows.protocol == Protocol.TCP)
+            & ((flows.tcp_flags & TCPFlags.ACK) != 0)
+        )
+        assert (high_high.payload_bytes() == 0).all()
+
+    def test_deterministic_given_seed(self, tiny_internet, tiny_botnet):
+        from repro.sim.timeline import Window
+
+        config = TrafficConfig(benign_clients_per_day=20, suspicious_hosts=50)
+        generator = TrafficGenerator(tiny_internet, tiny_botnet, config)
+        window = Window(270, 276)
+        a = generator.generate(window, np.random.default_rng(9))
+        b = generator.generate(window, np.random.default_rng(9))
+        assert np.array_equal(a.flows.src_addr, b.flows.src_addr)
+        assert np.array_equal(a.flows.octets, b.flows.octets)
+
+    def test_suspicious_disabled(self, tiny_internet, tiny_botnet, rng):
+        from repro.sim.timeline import Window
+
+        config = TrafficConfig(benign_clients_per_day=10, suspicious_hosts=0)
+        generator = TrafficGenerator(tiny_internet, tiny_botnet, config)
+        traffic = generator.generate(Window(270, 272), rng)
+        assert traffic.ground_truth("suspicious").size == 0

@@ -1,0 +1,92 @@
+"""Unit tests for repro.flows.record."""
+
+import pytest
+
+from repro.flows.record import (
+    HEADER_BYTES_PER_PACKET,
+    PAYLOAD_BEARING_MIN_BYTES,
+    FlowRecord,
+    Protocol,
+    TCPFlags,
+)
+
+
+def make(protocol=Protocol.TCP, packets=10, octets=1000, flags=TCPFlags.ACK, **kwargs):
+    defaults = dict(
+        src_addr=1,
+        dst_addr=2,
+        src_port=40000,
+        dst_port=80,
+        protocol=protocol,
+        packets=packets,
+        octets=octets,
+        tcp_flags=flags,
+        start_time=0.0,
+        end_time=1.0,
+    )
+    defaults.update(kwargs)
+    return FlowRecord(**defaults)
+
+
+class TestValidation:
+    def test_zero_packets_rejected(self):
+        with pytest.raises(ValueError):
+            make(packets=0)
+
+    def test_bytes_below_packets_rejected(self):
+        with pytest.raises(ValueError):
+            make(packets=10, octets=5)
+
+    def test_time_travel_rejected(self):
+        with pytest.raises(ValueError):
+            make(start_time=10.0, end_time=5.0)
+
+    def test_duration(self):
+        assert make(start_time=2.0, end_time=5.5).duration == 3.5
+
+
+class TestPayload:
+    def test_payload_estimate(self):
+        flow = make(packets=10, octets=1000)
+        assert flow.payload_bytes == 1000 - 10 * HEADER_BYTES_PER_PACKET
+
+    def test_payload_floor_zero(self):
+        assert make(packets=3, octets=100).payload_bytes == 0
+
+    def test_syn_scan_artifact(self):
+        # §6.1: a 3-packet SYN scan with TCP options shows 36 bytes of
+        # apparent payload — exactly at the threshold, but no ACK.
+        flow = make(packets=3, octets=156, flags=TCPFlags.SYN)
+        assert flow.payload_bytes == PAYLOAD_BEARING_MIN_BYTES
+        assert not flow.is_payload_bearing
+
+    def test_payload_bearing_requires_all_three(self):
+        good = make(packets=5, octets=1000, flags=TCPFlags.ACK | TCPFlags.PSH)
+        assert good.is_payload_bearing
+        assert not make(protocol=Protocol.UDP, flags=TCPFlags.ACK).is_payload_bearing
+        assert not make(octets=400, packets=10, flags=TCPFlags.ACK).is_payload_bearing
+        assert not make(octets=1000, packets=5, flags=TCPFlags.SYN).is_payload_bearing
+
+    def test_threshold_boundary(self):
+        at = make(packets=1, octets=40 + 36, flags=TCPFlags.ACK)
+        below = make(packets=1, octets=40 + 35, flags=TCPFlags.ACK)
+        assert at.is_payload_bearing
+        assert not below.is_payload_bearing
+
+
+class TestFlags:
+    def test_has_ack(self):
+        assert TCPFlags.has_ack(TCPFlags.ACK | TCPFlags.SYN)
+        assert not TCPFlags.has_ack(TCPFlags.SYN | TCPFlags.FIN)
+
+    def test_describe(self):
+        assert TCPFlags.describe(TCPFlags.SYN | TCPFlags.ACK) == "SYN|ACK"
+        assert TCPFlags.describe(0) == "-"
+
+    def test_flag_bits_are_netflow_v5(self):
+        assert TCPFlags.FIN == 0x01
+        assert TCPFlags.SYN == 0x02
+        assert TCPFlags.RST == 0x04
+        assert TCPFlags.PSH == 0x08
+        assert TCPFlags.ACK == 0x10
+        assert TCPFlags.URG == 0x20

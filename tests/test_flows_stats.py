@@ -1,0 +1,102 @@
+"""Unit tests for traffic statistics (repro.flows.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.flows.log import FlowBatch, FlowLog
+from repro.flows.record import Protocol, TCPFlags
+from repro.flows.stats import (
+    hourly_volume,
+    port_histogram,
+    profile_flows,
+    top_talkers,
+)
+
+ACKED = TCPFlags.SYN | TCPFlags.ACK | TCPFlags.PSH
+
+
+def sample_log():
+    batch = FlowBatch()
+    batch.add(100, 1, 40000, 80, Protocol.TCP, 10, 2000, ACKED, 100.0)
+    batch.add(100, 2, 40001, 80, Protocol.TCP, 4, 400, ACKED, 200.0)
+    batch.add(100, 3, 40002, 25, Protocol.TCP, 3, 156, TCPFlags.SYN, 3700.0)
+    batch.add(200, 1, 40003, 25, Protocol.TCP, 8, 1500, ACKED, 3900.0)
+    batch.add(300, 3, 40004, 53, Protocol.UDP, 2, 200, 0, 7300.0)
+    return FlowLog.from_batches([batch])
+
+
+class TestProfile:
+    def test_counts(self):
+        profile = profile_flows(sample_log())
+        assert profile.flows == 5
+        assert profile.packets == 27
+        assert profile.octets == 4256
+        assert profile.unique_sources == 3
+        assert profile.unique_destinations == 3
+
+    def test_protocol_breakdown(self):
+        profile = profile_flows(sample_log())
+        assert profile.by_protocol == {"tcp": 4, "udp": 1}
+
+    def test_payload_bearing(self):
+        profile = profile_flows(sample_log())
+        assert profile.payload_bearing_flows == 3
+        assert profile.payload_bearing_sources == 2
+        assert profile.payload_bearing_fraction == pytest.approx(0.6)
+
+    def test_empty_log(self):
+        profile = profile_flows(FlowLog.empty())
+        assert profile.flows == 0
+        assert profile.payload_bearing_fraction == 0.0
+        assert profile.mean_packets_per_flow == 0.0
+
+    def test_rows(self):
+        rows = profile_flows(sample_log()).rows()
+        assert {row["metric"] for row in rows} >= {"flows", "octets"}
+
+
+class TestTopTalkers:
+    def test_by_flows(self):
+        talkers = top_talkers(sample_log(), count=2)
+        assert talkers[0]["source"] == "0.0.0.100"
+        assert talkers[0]["flows"] == 3
+
+    def test_by_octets(self):
+        talkers = top_talkers(sample_log(), count=1, by="octets")
+        assert talkers[0]["source"] == "0.0.0.100"
+        assert talkers[0]["octets"] == 2556
+
+    def test_invalid_ranking(self):
+        with pytest.raises(ValueError):
+            top_talkers(sample_log(), by="packets")
+
+    def test_empty(self):
+        assert top_talkers(FlowLog.empty()) == []
+
+
+class TestPortHistogram:
+    def test_ordering(self):
+        histogram = port_histogram(sample_log(), count=2)
+        assert histogram[0]["dst_port"] in (80, 25)
+        assert histogram[0]["flows"] == 2
+
+    def test_empty(self):
+        assert port_histogram(FlowLog.empty()) == []
+
+
+class TestHourlyVolume:
+    def test_buckets(self):
+        volume = hourly_volume(sample_log())
+        assert volume == {0: 2, 1: 2, 2: 1}
+
+    def test_empty(self):
+        assert hourly_volume(FlowLog.empty()) == {}
+
+
+class TestScenarioProfile:
+    def test_october_capture_profile(self, small_scenario):
+        profile = profile_flows(small_scenario.october_traffic.flows)
+        assert profile.flows > 1000
+        assert profile.by_protocol.get("tcp", 0) == profile.flows  # all TCP
+        # Hostile SYN probing keeps the payload fraction well below 1.
+        assert 0.05 < profile.payload_bearing_fraction < 0.95

@@ -1,0 +1,161 @@
+"""End-to-end integration tests: the paper's claims on the small scenario.
+
+These are the reproduction's acceptance tests — every headline result of
+the paper, checked qualitatively on the fast scenario.  The benchmark
+suite re-runs them at full scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import cidr as rcidr
+from repro.core.density import density_test
+from repro.core.prediction import prediction_test
+from repro.core.uncleanliness import UncleanlinessScorer, block_jaccard
+
+SUBSETS = 80
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(2006)
+
+
+class TestSpatialUncleanliness:
+    """§4: compromised hosts cluster into fewer equal-sized blocks."""
+
+    @pytest.mark.parametrize("tag", ["bot", "phish", "spam", "scan"])
+    def test_unclean_reports_denser_than_control(self, small_scenario, rng, tag):
+        result = density_test(
+            small_scenario.report(tag), small_scenario.control, rng, subsets=SUBSETS
+        )
+        assert result.hypothesis_holds(), tag
+
+    def test_density_advantage_substantial_at_slash20(self, small_scenario, rng):
+        result = density_test(
+            small_scenario.bot, small_scenario.control, rng, subsets=SUBSETS
+        )
+        assert result.density_ratio(20) > 1.5
+
+
+class TestTemporalUncleanliness:
+    """§5: a five-month-old bot report predicts future unclean activity."""
+
+    @pytest.mark.parametrize("tag", ["bot", "spam", "scan"])
+    def test_bot_test_predicts_botnet_linked_activity(self, small_scenario, rng, tag):
+        result = prediction_test(
+            small_scenario.bot_test,
+            small_scenario.report(tag),
+            small_scenario.control,
+            rng,
+            subsets=SUBSETS,
+        )
+        assert result.hypothesis_holds(), tag
+        # The predictive band covers the paper's operative region (>=20 bits).
+        winners = result.predictive_prefixes()
+        assert any(20 <= n <= 24 for n in winners), tag
+
+    def test_bot_test_does_not_predict_phishing(self, small_scenario, rng):
+        result = prediction_test(
+            small_scenario.bot_test,
+            small_scenario.phish_present,
+            small_scenario.control,
+            rng,
+            subsets=SUBSETS,
+        )
+        assert len(result.predictive_prefixes()) <= 1
+
+    def test_phishing_predicts_phishing(self, small_scenario, rng):
+        result = prediction_test(
+            small_scenario.phish_test,
+            small_scenario.phish_present,
+            small_scenario.control,
+            rng,
+            subsets=SUBSETS,
+        )
+        assert result.hypothesis_holds()
+
+
+class TestCrossRelationships:
+    """§5.2: bots/scan/spam co-move; phishing is its own dimension."""
+
+    def test_bot_scan_spam_share_more_blocks_than_phish(self, small_scenario):
+        bot = small_scenario.bot
+        related = min(
+            block_jaccard(bot, small_scenario.scan, 24),
+            block_jaccard(bot, small_scenario.spam, 24),
+        )
+        unrelated = block_jaccard(bot, small_scenario.phish, 24)
+        assert related > 2 * unrelated
+
+
+class TestBlocking:
+    """§6: blocking C_n(bot-test) is feasible."""
+
+    def test_partition_shape(self, small_scenario):
+        part = small_scenario.partition
+        assert len(part.unknown) > len(part.hostile) > len(part.innocent)
+
+    def test_tp_rate_high_at_slash24(self, small_scenario):
+        row = small_scenario.blocking().row(24)
+        assert row.tp_rate > 0.8
+        assert row.tp_rate_assuming_unknown_hostile > row.tp_rate
+
+    def test_counts_monotone(self, small_scenario):
+        assert small_scenario.blocking().monotone_decreasing()
+
+    def test_slow_scanners_land_in_unknown(self, small_scenario):
+        """§6.2: hand-examination found slow scanners in R_unknown."""
+        traffic = small_scenario.october_traffic
+        quiet = np.union1d(
+            traffic.ground_truth("slow_scanners"),
+            np.union1d(
+                traffic.ground_truth("ephemeral"),
+                traffic.ground_truth("suspicious"),
+            ),
+        )
+        unknown = small_scenario.partition.unknown.addresses
+        assert unknown.size > 0
+        assert np.isin(unknown, quiet).all()
+
+    def test_sparse_traffic_from_blocked_space(self, small_scenario):
+        """§6.2: only a few % of blocked /24 space ever communicated."""
+        blocked = rcidr.block_count(small_scenario.bot_test, 24)
+        candidates = len(small_scenario.partition.candidate)
+        assert candidates < 0.15 * blocked * 256
+
+
+class TestMultidimensionalMetric:
+    """§7: the forward-looking uncleanliness score."""
+
+    def test_unclean_blocks_outscore_control_blocks(self, small_scenario, rng):
+        scorer = UncleanlinessScorer(prefix_len=24)
+        scores = scorer.score(
+            {
+                "bots": small_scenario.bot,
+                "scanning": small_scenario.scan,
+                "spam": small_scenario.spam,
+                "phishing": small_scenario.phish,
+            }
+        )
+        bot_scores = [scores.score_of(int(a)) for a in small_scenario.bot.addresses[:300]]
+        control_scores = [
+            scores.score_of(int(a)) for a in small_scenario.control.addresses[:300]
+        ]
+        assert np.mean(bot_scores) > 5 * max(np.mean(control_scores), 1e-6)
+
+    def test_blocklist_catches_future_bots(self, small_scenario):
+        # Score on the October evidence; the top blocks should contain a
+        # disproportionate share of the *unreported* channels' bots too.
+        scorer = UncleanlinessScorer(prefix_len=24)
+        scores = scorer.score({"bots": small_scenario.bot})
+        from repro.sim.timeline import PAPER_WINDOWS
+
+        hidden = small_scenario.botnet.active_addresses(
+            PAPER_WINDOWS.OCTOBER,
+            channels=[small_scenario.config.bot_test_channel],
+        )
+        if hidden.size == 0:
+            pytest.skip("no hidden-channel bots in this draw")
+        hits = np.mean([scores.score_of(int(a)) > 0 for a in hidden])
+        assert hits > 0.5

@@ -1,0 +1,120 @@
+"""Unit tests for report and flow serialisation."""
+
+import datetime
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.report import DataClass, Report, ReportType
+from repro.flows.log import FlowBatch, FlowLog
+from repro.flows.record import Protocol, TCPFlags
+from repro.io import (
+    read_address_list,
+    read_flows,
+    read_report,
+    write_flows,
+    write_report,
+)
+
+
+def sample_report():
+    return Report.from_addresses(
+        "bot",
+        ["62.4.1.1", "200.3.2.1", "8.8.8.8"],
+        report_type=ReportType.PROVIDED,
+        data_class=DataClass.BOTS,
+        period=(datetime.date(2006, 10, 1), datetime.date(2006, 10, 14)),
+    )
+
+
+class TestReportIO:
+    def test_round_trip_stream(self):
+        report = sample_report()
+        buffer = io.StringIO()
+        write_report(report, buffer)
+        buffer.seek(0)
+        loaded = read_report(buffer)
+        assert loaded == report
+
+    def test_round_trip_file(self, tmp_path):
+        report = sample_report()
+        path = tmp_path / "bot.txt"
+        write_report(report, path)
+        assert read_report(path) == report
+
+    def test_round_trip_without_period(self, tmp_path):
+        report = Report.from_addresses("x", ["1.0.0.1"])
+        path = tmp_path / "x.txt"
+        write_report(report, path)
+        loaded = read_report(path)
+        assert loaded.period is None
+        assert np.array_equal(loaded.addresses, report.addresses)
+
+    def test_bare_address_list(self):
+        buffer = io.StringIO("# feed dump\n1.0.0.1\n\n2.0.0.2\n")
+        report = read_report(buffer)
+        assert report.tag == "imported"
+        assert len(report) == 2
+
+    def test_read_address_list(self):
+        report = read_address_list(["# comment", "9.9.9.9", "", "8.8.8.8"], tag="feed")
+        assert report.tag == "feed"
+        assert len(report) == 2
+
+    def test_malformed_address_raises(self):
+        with pytest.raises(ValueError):
+            read_address_list(["1.2.3.999"])
+
+
+def sample_flows():
+    batch = FlowBatch()
+    batch.add(100, 1, 40000, 80, Protocol.TCP, 10, 2000,
+              TCPFlags.SYN | TCPFlags.ACK, 10.5, 12.25)
+    batch.add(200, 2, 40001, 25, Protocol.UDP, 2, 200, 0, 30.0)
+    return FlowLog.from_batches([batch])
+
+
+class TestFlowIO:
+    def test_round_trip_stream(self):
+        flows = sample_flows()
+        buffer = io.StringIO()
+        write_flows(flows, buffer)
+        buffer.seek(0)
+        loaded = read_flows(buffer)
+        assert len(loaded) == len(flows)
+        for name in ("src_addr", "dst_addr", "octets", "tcp_flags"):
+            assert np.array_equal(loaded.column(name), flows.column(name)), name
+        assert np.allclose(loaded.start_time, flows.start_time)
+
+    def test_round_trip_file(self, tmp_path):
+        path = tmp_path / "flows.csv"
+        write_flows(sample_flows(), path)
+        assert len(read_flows(path)) == 2
+
+    def test_empty_log_round_trip(self):
+        buffer = io.StringIO()
+        write_flows(FlowLog.empty(), buffer)
+        buffer.seek(0)
+        assert len(read_flows(buffer)) == 0
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_flows(io.StringIO("nope,nope\n"))
+
+    def test_malformed_row_rejected(self):
+        buffer = io.StringIO()
+        write_flows(sample_flows(), buffer)
+        content = buffer.getvalue() + "1.2.3.4,oops\n"
+        with pytest.raises(ValueError):
+            read_flows(io.StringIO(content))
+
+    def test_payload_semantics_survive(self):
+        flows = sample_flows()
+        buffer = io.StringIO()
+        write_flows(flows, buffer)
+        buffer.seek(0)
+        loaded = read_flows(buffer)
+        assert np.array_equal(
+            loaded.payload_bearing_mask(), flows.payload_bearing_mask()
+        )

@@ -1,0 +1,112 @@
+"""Unit tests for dataset directories (repro.io.dataset)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.report import DataClass, Report, ReportType
+from repro.flows.log import FlowBatch, FlowLog
+from repro.flows.record import Protocol, TCPFlags
+from repro.io.dataset import Dataset, load_dataset, save_dataset, save_scenario
+
+
+def make_dataset():
+    batch = FlowBatch()
+    batch.add(100, 1, 40000, 80, Protocol.TCP, 10, 2000,
+              TCPFlags.SYN | TCPFlags.ACK, 10.0)
+    return Dataset(
+        reports={
+            "bot": Report.from_addresses(
+                "bot", ["62.4.1.1", "62.4.1.2"],
+                report_type=ReportType.PROVIDED, data_class=DataClass.BOTS,
+            ),
+            "control": Report.from_addresses("control", ["8.8.8.8"]),
+        },
+        flows={"october": FlowLog.from_batches([batch])},
+        metadata={"seed": 7},
+    )
+
+
+class TestRoundTrip:
+    def test_reports_round_trip(self, tmp_path):
+        save_dataset(make_dataset(), tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert set(loaded.reports) == {"bot", "control"}
+        assert loaded.reports["bot"] == make_dataset().reports["bot"]
+
+    def test_flows_round_trip(self, tmp_path):
+        save_dataset(make_dataset(), tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert len(loaded.flows["october"]) == 1
+        assert loaded.flows["october"].record(0).src_addr == 100
+
+    def test_metadata_round_trip(self, tmp_path):
+        save_dataset(make_dataset(), tmp_path / "ds")
+        assert load_dataset(tmp_path / "ds").metadata == {"seed": 7}
+
+    def test_manifest_contents(self, tmp_path):
+        root = save_dataset(make_dataset(), tmp_path / "ds")
+        manifest = json.loads((root / "manifest.json").read_text())
+        assert manifest["format_version"] == 1
+        assert manifest["reports"]["bot"]["size"] == 2
+        assert manifest["flows"]["october"]["records"] == 1
+
+    def test_report_lookup(self, tmp_path):
+        save_dataset(make_dataset(), tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert len(loaded.report("bot")) == 2
+        with pytest.raises(KeyError):
+            loaded.report("nope")
+
+
+class TestValidation:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path)
+
+    def test_bad_version(self, tmp_path):
+        root = save_dataset(make_dataset(), tmp_path / "ds")
+        manifest = json.loads((root / "manifest.json").read_text())
+        manifest["format_version"] = 99
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError):
+            load_dataset(root)
+
+    def test_size_mismatch_detected(self, tmp_path):
+        root = save_dataset(make_dataset(), tmp_path / "ds")
+        manifest = json.loads((root / "manifest.json").read_text())
+        manifest["reports"]["bot"]["size"] = 99
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError):
+            load_dataset(root)
+
+    def test_unsafe_tag_names_sanitised(self, tmp_path):
+        dataset = Dataset(
+            reports={"a/b c": Report.from_addresses("a/b c", ["1.0.0.1"])}
+        )
+        root = save_dataset(dataset, tmp_path / "ds")
+        loaded = load_dataset(root)
+        assert "a/b c" in loaded.reports
+
+
+class TestScenarioSnapshot:
+    def test_save_scenario(self, small_scenario, tmp_path):
+        root = save_scenario(small_scenario, tmp_path / "snap")
+        loaded = load_dataset(root)
+        assert set(loaded.reports) == set(small_scenario.reports)
+        for tag in small_scenario.reports:
+            assert np.array_equal(
+                loaded.reports[tag].addresses,
+                small_scenario.reports[tag].addresses,
+            ), tag
+        assert len(loaded.flows["october"]) == len(
+            small_scenario.october_traffic.flows
+        )
+        assert loaded.metadata["seed"] == small_scenario.config.seed
+
+    def test_save_scenario_without_flows(self, small_scenario, tmp_path):
+        root = save_scenario(
+            small_scenario, tmp_path / "snap2", include_flows=False
+        )
+        assert load_dataset(root).flows == {}

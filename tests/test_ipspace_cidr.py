@@ -1,0 +1,142 @@
+"""Unit tests for repro.ipspace.cidr."""
+
+import numpy as np
+import pytest
+
+from repro.ipspace.addr import as_int
+from repro.ipspace.cidr import (
+    CIDRBlock,
+    block_count,
+    contains,
+    mask_address,
+    mask_array,
+    unique_blocks,
+)
+
+
+class TestCIDRBlock:
+    def test_canonicalises_network(self):
+        block = CIDRBlock(as_int("127.1.135.14"), 16)
+        assert str(block) == "127.1.0.0/16"
+
+    def test_paper_example(self):
+        # §3.1: C_16(127.1.135.14) = 127.1.0.0/16
+        assert CIDRBlock.containing("127.1.135.14", 16) == CIDRBlock.parse("127.1.0.0/16")
+
+    def test_parse(self):
+        block = CIDRBlock.parse("10.0.0.0/8")
+        assert block.prefix_len == 8
+        assert block.first_address == 10 << 24
+
+    def test_parse_rejects_plain_address(self):
+        with pytest.raises(ValueError):
+            CIDRBlock.parse("10.0.0.0")
+
+    def test_bad_prefix(self):
+        with pytest.raises(ValueError):
+            CIDRBlock(0, 33)
+
+    def test_first_last(self):
+        block = CIDRBlock.parse("192.0.2.0/24")
+        assert block.last_address - block.first_address == 255
+        assert block.num_addresses == 256
+
+    def test_contains(self):
+        block = CIDRBlock.parse("62.4.0.0/16")
+        assert block.contains("62.4.200.1")
+        assert not block.contains("62.5.0.1")
+
+    def test_slash32_contains_only_itself(self):
+        block = CIDRBlock.containing("1.2.3.4", 32)
+        assert block.contains("1.2.3.4")
+        assert not block.contains("1.2.3.5")
+
+    def test_subblock_of(self):
+        outer = CIDRBlock.parse("62.4.0.0/16")
+        inner = CIDRBlock.parse("62.4.9.0/24")
+        assert inner.subblock_of(outer)
+        assert not outer.subblock_of(inner)
+        assert outer.subblock_of(outer)
+
+    def test_subblock_of_disjoint(self):
+        a = CIDRBlock.parse("62.4.0.0/24")
+        b = CIDRBlock.parse("62.5.0.0/24")
+        assert not a.subblock_of(b)
+
+    def test_addresses_iterates_block(self):
+        block = CIDRBlock.parse("1.2.3.0/30")
+        assert list(block.addresses()) == [
+            as_int("1.2.3.0"),
+            as_int("1.2.3.1"),
+            as_int("1.2.3.2"),
+            as_int("1.2.3.3"),
+        ]
+
+    def test_ordering_and_hash(self):
+        a = CIDRBlock.parse("1.0.0.0/8")
+        b = CIDRBlock.parse("2.0.0.0/8")
+        assert a < b
+        assert len({a, b, CIDRBlock.parse("1.0.0.0/8")}) == 2
+
+    def test_repr(self):
+        assert repr(CIDRBlock.parse("10.0.0.0/8")) == "CIDRBlock('10.0.0.0/8')"
+
+
+class TestMasking:
+    def test_mask_address(self):
+        assert mask_address("127.1.135.14", 16) == as_int("127.1.0.0")
+
+    def test_mask_address_zero_prefix(self):
+        assert mask_address("200.1.2.3", 0) == 0
+
+    def test_mask_array_matches_scalar(self, rng):
+        addrs = rng.integers(0, 2**32, size=500, dtype=np.uint32)
+        for n in (0, 8, 16, 24, 31, 32):
+            masked = mask_array(addrs, n)
+            scalars = [mask_address(int(a), n) for a in addrs]
+            assert list(masked) == scalars
+
+    def test_unique_blocks_sorted_and_deduped(self):
+        addrs = ["10.0.0.1", "10.0.0.200", "10.0.1.3", "9.0.0.1"]
+        blocks = unique_blocks(addrs, 24)
+        assert list(blocks) == sorted(set(mask_address(a, 24) for a in addrs))
+
+    def test_block_count_eq1(self):
+        # Eq. 1: C_n(S) is the union of per-address blocks.
+        addrs = ["10.0.0.1", "10.0.0.2", "10.0.0.3"]
+        assert block_count(addrs, 24) == 1
+        assert block_count(addrs, 32) == 3
+
+
+class TestContains:
+    def test_inclusion_relation(self):
+        # Eq. 2: i ⊏ S iff C_n(i) ∈ C_n(S).
+        block_set = unique_blocks(["10.0.0.1", "20.0.0.1"], 24)
+        probe = np.asarray(
+            [as_int("10.0.0.99"), as_int("20.0.1.1"), as_int("30.0.0.1")],
+            dtype=np.uint32,
+        )
+        mask = contains(probe, block_set, 24)
+        assert list(mask) == [True, False, False]
+
+    def test_empty_block_set(self):
+        probe = np.asarray([1, 2, 3], dtype=np.uint32)
+        assert not contains(probe, np.asarray([], dtype=np.uint32), 24).any()
+
+    def test_empty_probe(self):
+        block_set = unique_blocks(["10.0.0.1"], 24)
+        assert contains(np.asarray([], dtype=np.uint32), block_set, 24).size == 0
+
+    def test_boundary_first_and_last_of_block(self):
+        block_set = unique_blocks(["10.0.5.128"], 24)
+        probe = np.asarray(
+            [as_int("10.0.5.0"), as_int("10.0.5.255"), as_int("10.0.6.0"),
+             as_int("10.0.4.255")],
+            dtype=np.uint32,
+        )
+        assert list(contains(probe, block_set, 24)) == [True, True, False, False]
+
+    def test_full_prefix(self):
+        block_set = unique_blocks(["1.2.3.4"], 32)
+        probe = np.asarray([as_int("1.2.3.4"), as_int("1.2.3.5")], dtype=np.uint32)
+        assert list(contains(probe, block_set, 32)) == [True, False]

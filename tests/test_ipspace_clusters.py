@@ -1,0 +1,115 @@
+"""Unit tests for network-aware clustering (repro.ipspace.clusters)."""
+
+import numpy as np
+import pytest
+
+from repro.ipspace.addr import as_int
+from repro.ipspace.cidr import CIDRBlock
+from repro.ipspace.clusters import PrefixTable, synthesize_table
+
+
+@pytest.fixture
+def table():
+    return PrefixTable(
+        [
+            CIDRBlock.parse("62.4.0.0/16"),
+            CIDRBlock.parse("62.4.9.0/24"),  # more specific inside the /16
+            CIDRBlock.parse("80.0.0.0/8"),
+        ]
+    )
+
+
+class TestLookup:
+    def test_longest_match_wins(self, table):
+        assert table.lookup("62.4.9.77") == CIDRBlock.parse("62.4.9.0/24")
+
+    def test_covering_prefix_used_otherwise(self, table):
+        assert table.lookup("62.4.10.1") == CIDRBlock.parse("62.4.0.0/16")
+
+    def test_short_prefix(self, table):
+        assert table.lookup("80.200.1.1") == CIDRBlock.parse("80.0.0.0/8")
+
+    def test_unrouted_address(self, table):
+        assert table.lookup("9.9.9.9") is None
+
+    def test_lookup_array_matches_scalar(self, table, rng):
+        addrs = np.concatenate(
+            [
+                rng.integers(0, 2**32, size=200, dtype=np.uint32),
+                np.asarray(
+                    [as_int("62.4.9.1"), as_int("62.4.1.1"), as_int("80.1.1.1")],
+                    dtype=np.uint32,
+                ),
+            ]
+        )
+        indices = table.lookup_array(addrs)
+        for address, index in zip(addrs, indices):
+            expected = table.lookup(int(address))
+            if index == -1:
+                assert expected is None
+            else:
+                assert table.prefixes[index] == expected
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixTable([])
+
+    def test_duplicates_collapsed(self):
+        table = PrefixTable([CIDRBlock.parse("10.0.0.0/8")] * 3)
+        assert len(table) == 1
+
+
+class TestAggregates:
+    def test_cluster_count(self, table):
+        addrs = ["62.4.9.1", "62.4.9.2", "62.4.1.1", "80.0.0.1", "9.9.9.9"]
+        # /24 cluster, /16 cluster, /8 cluster; unrouted excluded.
+        assert table.cluster_count(addrs) == 3
+
+    def test_cluster_count_empty(self, table):
+        assert table.cluster_count([]) == 0
+
+    def test_cluster_sizes_dispersion(self, table):
+        sizes = table.cluster_sizes()
+        assert sizes.max() / sizes.min() == (1 << 24) / (1 << 8)
+
+    def test_coverage_fraction(self, table):
+        assert table.coverage_fraction(["62.4.0.1", "9.9.9.9"]) == 0.5
+        assert table.coverage_fraction([]) == 0.0
+
+
+class TestSynthesizedTable:
+    def test_covers_all_live_hosts(self, tiny_internet, rng):
+        table = synthesize_table(tiny_internet, rng)
+        sample = tiny_internet.sample_hosts(500, rng)
+        assert table.coverage_fraction(sample) == 1.0
+
+    def test_heterogeneous_lengths(self, tiny_internet):
+        table = synthesize_table(
+            tiny_internet, np.random.default_rng(3), deaggregation_probability=0.6
+        )
+        lengths = {b.prefix_len for b in table.prefixes}
+        assert 16 in lengths
+        assert len(lengths) >= 3  # genuinely heterogeneous
+
+    def test_no_deaggregation_gives_pure_slash16(self, tiny_internet):
+        table = synthesize_table(
+            tiny_internet, np.random.default_rng(3), deaggregation_probability=0.0
+        )
+        assert {b.prefix_len for b in table.prefixes} == {16}
+
+    def test_orders_of_magnitude_spread(self, tiny_internet):
+        # The §4.1 complaint: cluster populations differ by large factors.
+        table = synthesize_table(
+            tiny_internet, np.random.default_rng(3), deaggregation_probability=0.6
+        )
+        sizes = table.cluster_sizes()
+        assert sizes.max() / sizes.min() >= 100
+
+    def test_invalid_probability(self, tiny_internet, rng):
+        with pytest.raises(ValueError):
+            synthesize_table(tiny_internet, rng, deaggregation_probability=1.5)
+
+    def test_deterministic(self, tiny_internet):
+        a = synthesize_table(tiny_internet, np.random.default_rng(9))
+        b = synthesize_table(tiny_internet, np.random.default_rng(9))
+        assert a.prefixes == b.prefixes

@@ -1,0 +1,59 @@
+"""Unit tests for the IANA 2006 allocation table."""
+
+import pytest
+
+from repro.ipspace.iana import STATUS_BY_OCTET, Status, allocated_octets, is_allocated
+
+
+def test_table_covers_all_octets():
+    assert set(STATUS_BY_OCTET) == set(range(256))
+
+
+def test_special_purpose_blocks():
+    assert STATUS_BY_OCTET[0] == Status.RESERVED
+    assert STATUS_BY_OCTET[10] == Status.PRIVATE
+    assert STATUS_BY_OCTET[127] == Status.RESERVED
+
+
+def test_class_d_and_e_reserved():
+    for octet in range(224, 256):
+        assert STATUS_BY_OCTET[octet] == Status.RESERVED
+
+
+def test_legacy_class_a_allocated():
+    for octet in (3, 9, 12, 18, 38):
+        assert is_allocated(octet)
+
+
+def test_class_b_space_allocated():
+    # 128-172 were administered by the registries in 2006.
+    for octet in (128, 150, 169, 172):
+        assert is_allocated(octet)
+
+
+def test_2006_unallocated_examples():
+    # Allocated only after the study period (2007+).
+    for octet in (1, 2, 5, 23, 31, 36, 37, 42, 46, 49, 50, 100, 173):
+        assert not is_allocated(octet)
+
+
+def test_allocated_octet_count_2006_scale():
+    # By late 2006 the IANA free pool held ~50 of 256 /8s; with ~35
+    # special-purpose /8s that leaves roughly 150-175 populated.
+    count = len(allocated_octets())
+    assert 140 <= count <= 175
+
+
+def test_allocated_excludes_reserved():
+    allocated = allocated_octets()
+    assert 0 not in allocated
+    assert 10 not in allocated
+    assert 127 not in allocated
+    assert not any(o >= 224 for o in allocated)
+
+
+def test_is_allocated_range_check():
+    with pytest.raises(ValueError):
+        is_allocated(256)
+    with pytest.raises(ValueError):
+        is_allocated(-1)

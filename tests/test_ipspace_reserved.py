@@ -1,0 +1,68 @@
+"""Unit tests for reserved-space filtering (§3.2 sanitisation)."""
+
+import numpy as np
+
+from repro.ipspace.addr import as_array, as_int
+from repro.ipspace.reserved import (
+    RESERVED_BLOCKS,
+    filter_reserved,
+    is_reserved,
+    reserved_mask,
+)
+
+
+RESERVED_EXAMPLES = [
+    "0.1.2.3",
+    "10.200.1.1",  # RFC 1918
+    "127.0.0.1",  # loopback
+    "169.254.9.9",  # link-local
+    "172.16.0.1",  # RFC 1918
+    "172.31.255.255",  # RFC 1918 upper edge
+    "192.0.2.55",  # TEST-NET
+    "192.168.1.1",  # RFC 1918
+    "198.18.0.1",  # benchmarking
+    "224.0.0.1",  # multicast
+    "255.255.255.255",  # class E / broadcast
+]
+
+PUBLIC_EXAMPLES = [
+    "8.8.8.8",
+    "62.4.1.1",
+    "172.15.255.255",  # just below RFC 1918 172.16/12
+    "172.32.0.0",  # just above it
+    "192.0.3.0",  # just past TEST-NET
+    "198.20.0.0",  # just past benchmarking /15
+    "223.255.255.255",  # last class C address
+]
+
+
+def test_reserved_examples_flagged():
+    for address in RESERVED_EXAMPLES:
+        assert is_reserved(address), address
+
+
+def test_public_examples_pass():
+    for address in PUBLIC_EXAMPLES:
+        assert not is_reserved(address), address
+
+
+def test_mask_matches_scalar():
+    addrs = RESERVED_EXAMPLES + PUBLIC_EXAMPLES
+    mask = reserved_mask(as_array(addrs))
+    expected = [is_reserved(a) for a in addrs]
+    assert list(mask) == expected
+
+
+def test_filter_reserved_removes_only_reserved():
+    addrs = as_array(RESERVED_EXAMPLES + PUBLIC_EXAMPLES)
+    kept = filter_reserved(addrs)
+    assert sorted(kept) == sorted(as_int(a) for a in PUBLIC_EXAMPLES)
+
+
+def test_filter_empty():
+    assert filter_reserved(np.asarray([], dtype=np.uint32)).size == 0
+
+
+def test_blocks_are_canonical():
+    for block in RESERVED_BLOCKS:
+        assert block.first_address == block.network

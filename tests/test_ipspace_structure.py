@@ -1,0 +1,122 @@
+"""Unit tests for address-structure profiling (repro.ipspace.structure)."""
+
+import numpy as np
+import pytest
+
+from repro.ipspace.structure import StructureProfile, profile_addresses
+
+
+def uniform_addresses(count, rng):
+    return rng.integers(0, 2**32, size=count, dtype=np.uint32)
+
+
+class TestProfile:
+    def test_block_counts_monotone(self, rng):
+        profile = profile_addresses(uniform_addresses(5000, rng))
+        counts = [profile.block_counts[n] for n in profile.prefixes]
+        assert counts == sorted(counts)
+
+    def test_slash32_counts_addresses(self, rng):
+        addrs = np.unique(uniform_addresses(1000, rng))
+        profile = profile_addresses(addrs, prefixes=(16, 32))
+        assert profile.block_counts[32] == addrs.size
+        assert profile.address_count == addrs.size
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            profile_addresses([])
+
+    def test_single_address(self):
+        profile = profile_addresses(["1.2.3.4"], prefixes=(8, 24, 32))
+        assert all(c == 1 for c in profile.block_counts.values())
+        assert all(e == 1.0 for e in profile.occupancy_entropy.values())
+
+    def test_rows_structure(self, rng):
+        profile = profile_addresses(uniform_addresses(100, rng), prefixes=(16, 24))
+        rows = profile.rows()
+        assert [row["prefix"] for row in rows] == [16, 24]
+
+
+class TestUniformSignature:
+    def test_uniform_doubles_per_bit(self, rng):
+        # 50k addresses, blocks up to /12 (4096): collision-dominated,
+        # so the count doubles with each added bit.
+        profile = profile_addresses(
+            uniform_addresses(50_000, rng), prefixes=(8, 10, 12)
+        )
+        for ratio in profile.growth_ratios().values():
+            assert 1.85 <= ratio <= 2.05
+
+    def test_uniform_high_entropy(self, rng):
+        profile = profile_addresses(uniform_addresses(5000, rng), prefixes=(8, 12))
+        assert profile.occupancy_entropy[8] > 0.95
+
+    def test_uniform_looks_uniform(self, rng):
+        profile = profile_addresses(
+            uniform_addresses(20_000, rng), prefixes=tuple(range(4, 14, 2))
+        )
+        assert profile.looks_uniform()
+
+    def test_unsaturated_growth_none_when_all_sparse(self, rng):
+        profile = profile_addresses(
+            uniform_addresses(100, rng), prefixes=(24, 28, 32)
+        )
+        assert profile.unsaturated_growth() is None
+        assert not profile.looks_uniform()
+
+
+class TestStructuredSignature:
+    def test_clustered_addresses_grow_slowly(self):
+        # Everything packed into four /24s: almost no growth across the
+        # mid prefixes.
+        addrs = [f"60.1.{b}.{k}" for b in range(4) for k in range(1, 200)]
+        profile = profile_addresses(addrs, prefixes=(16, 20, 24))
+        assert profile.mean_growth(16, 24) < 1.3
+        # And the unsaturated steps (all blocks hold many addresses)
+        # grow far below doubling.
+        assert profile.unsaturated_growth() < 1.5
+
+    def test_skewed_occupancy_lowers_entropy(self):
+        # One /16 holds 990 addresses, nine others hold one each.
+        addrs = [60 * 2**24 + i for i in range(990)]
+        addrs += [(61 + k) * 2**24 + (k << 16) for k in range(9)]
+        profile = profile_addresses(addrs, prefixes=(16,))
+        assert profile.occupancy_entropy[16] < 0.35
+
+    def test_synthetic_internet_is_structured(self, small_scenario):
+        """The generator must reproduce Kohler et al.'s finding: the
+        control population is far from uniform."""
+        profile = profile_addresses(
+            small_scenario.control.addresses, prefixes=tuple(range(14, 28, 2))
+        )
+        assert not profile.looks_uniform()
+        assert profile.mean_growth(16, 24) < 1.8
+        assert profile.mean_entropy(16, 24) < 0.97
+
+    def test_bots_more_structured_than_control(self, small_scenario):
+        """Spatial uncleanliness in structure terms: the bot population
+        is spread less evenly over its blocks (lower occupancy entropy)
+        than an equal-cardinality control sample, and occupies fewer
+        blocks at every profiled prefix."""
+        band = tuple(range(16, 26, 2))
+        bots = profile_addresses(small_scenario.bot.addresses, prefixes=band)
+        size = len(small_scenario.bot)
+        control_sample = small_scenario.control.sample(
+            size, np.random.default_rng(1)
+        )
+        control = profile_addresses(control_sample.addresses, prefixes=band)
+        assert bots.mean_entropy(16, 24) < control.mean_entropy(16, 24)
+        for n in band:
+            assert bots.block_counts[n] <= control.block_counts[n]
+
+
+class TestBandValidation:
+    def test_mean_growth_empty_band(self, rng):
+        profile = profile_addresses(uniform_addresses(100, rng), prefixes=(8, 10))
+        with pytest.raises(ValueError):
+            profile.mean_growth(16, 24)
+
+    def test_mean_entropy_empty_band(self, rng):
+        profile = profile_addresses(uniform_addresses(100, rng), prefixes=(8, 10))
+        with pytest.raises(ValueError):
+            profile.mean_entropy(16, 24)

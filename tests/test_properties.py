@@ -1,0 +1,286 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+Invariants of address arithmetic, CIDR masking, report algebra and the
+payload predicate that must hold for *any* input, not just the curated
+cases in the unit tests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import cidr as rcidr
+from repro.core.report import Report
+from repro.core.stats import exceedance_fraction, summarize
+from repro.flows.record import FlowRecord, Protocol, TCPFlags
+from repro.ipspace.addr import as_int, as_str, block_size, prefix_mask
+from repro.ipspace.cidr import CIDRBlock, contains, mask_address, unique_blocks
+
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF)
+prefixes = st.integers(min_value=0, max_value=32)
+address_lists = st.lists(addresses, min_size=0, max_size=200)
+
+
+class TestAddressProperties:
+    @given(addresses)
+    def test_str_int_round_trip(self, value):
+        assert as_int(as_str(value)) == value
+
+    @given(prefixes)
+    def test_mask_times_size_covers_space(self, n):
+        assert (prefix_mask(n) | (block_size(n) - 1)) == 0xFFFFFFFF
+
+    @given(addresses, prefixes)
+    def test_masking_is_idempotent(self, address, n):
+        once = mask_address(address, n)
+        assert mask_address(once, n) == once
+
+    @given(addresses, prefixes)
+    def test_masked_address_within_block(self, address, n):
+        block = CIDRBlock.containing(address, n)
+        assert block.first_address <= address <= block.last_address
+
+    @given(addresses, prefixes, prefixes)
+    def test_coarser_mask_subsumes_finer(self, address, n1, n2):
+        coarse, fine = min(n1, n2), max(n1, n2)
+        fine_block = CIDRBlock.containing(address, fine)
+        coarse_block = CIDRBlock.containing(address, coarse)
+        assert fine_block.subblock_of(coarse_block)
+
+    @given(addresses, addresses, prefixes)
+    def test_same_block_iff_same_mask(self, a, b, n):
+        same_block = CIDRBlock.containing(a, n) == CIDRBlock.containing(b, n)
+        assert same_block == (mask_address(a, n) == mask_address(b, n))
+
+
+class TestBlockSetProperties:
+    @given(address_lists, prefixes)
+    def test_block_count_bounded(self, addrs, n):
+        arr = np.asarray(addrs, dtype=np.uint32)
+        count = unique_blocks(arr, n).size
+        assert count <= max(len(set(addrs)), 0) or count == 0
+        assert count <= block_size(0) // max(block_size(n), 1) + 1
+
+    @given(address_lists)
+    def test_block_count_monotone_in_prefix(self, addrs):
+        arr = np.asarray(addrs, dtype=np.uint32)
+        counts = [unique_blocks(arr, n).size for n in range(0, 33, 4)]
+        assert counts == sorted(counts)
+
+    @given(address_lists, prefixes)
+    def test_every_member_satisfies_inclusion(self, addrs, n):
+        arr = np.asarray(addrs, dtype=np.uint32)
+        blocks = unique_blocks(arr, n)
+        assert contains(arr, blocks, n).all()
+
+    @given(address_lists, address_lists, prefixes)
+    def test_intersection_bounded_by_block_counts(self, a, b, n):
+        ra = Report.from_addresses("a", np.asarray(a, dtype=np.uint32))
+        rb = Report.from_addresses("b", np.asarray(b, dtype=np.uint32))
+        inter = rcidr.intersection_count(ra, rb, n)
+        assert inter <= min(rcidr.block_count(ra, n), rcidr.block_count(rb, n))
+
+
+class TestReportProperties:
+    @given(address_lists, address_lists)
+    def test_union_cardinality(self, a, b):
+        ra = Report.from_addresses("a", np.asarray(a, dtype=np.uint32))
+        rb = Report.from_addresses("b", np.asarray(b, dtype=np.uint32))
+        union = ra | rb
+        inter = ra & rb
+        assert len(union) == len(ra) + len(rb) - len(inter)
+
+    @given(address_lists, address_lists)
+    def test_difference_disjoint_from_other(self, a, b):
+        ra = Report.from_addresses("a", np.asarray(a, dtype=np.uint32))
+        rb = Report.from_addresses("b", np.asarray(b, dtype=np.uint32))
+        assert len((ra - rb) & rb) == 0
+
+    @given(address_lists, address_lists)
+    def test_partition_identity(self, a, b):
+        ra = Report.from_addresses("a", np.asarray(a, dtype=np.uint32))
+        rb = Report.from_addresses("b", np.asarray(b, dtype=np.uint32))
+        assert len(ra & rb) + len(ra - rb) == len(ra)
+
+    @given(address_lists)
+    def test_idempotent_set_ops(self, a):
+        r = Report.from_addresses("r", np.asarray(a, dtype=np.uint32))
+        assert len(r | r) == len(r)
+        assert len(r & r) == len(r)
+        assert len(r - r) == 0
+
+    @given(address_lists, st.integers(min_value=0, max_value=50))
+    def test_sample_invariants(self, a, k):
+        r = Report.from_addresses("r", np.asarray(a, dtype=np.uint32))
+        if k > len(r):
+            return
+        if k == 0:
+            return
+        sample = r.sample(k, np.random.default_rng(0))
+        assert len(sample) == k
+        assert all(addr in r for addr in sample)
+
+
+class TestFlowProperties:
+    flow_args = st.tuples(
+        st.integers(min_value=1, max_value=100),  # packets
+        st.integers(min_value=0, max_value=5000),  # extra bytes
+        st.integers(min_value=0, max_value=63),  # flags
+        st.sampled_from([Protocol.TCP, Protocol.UDP, Protocol.ICMP]),
+    )
+
+    @given(flow_args)
+    def test_payload_consistency(self, args):
+        packets, extra, flags, proto = args
+        octets = packets * 1 + extra  # always >= 1 byte per packet
+        flow = FlowRecord(
+            src_addr=1, dst_addr=2, src_port=1, dst_port=2, protocol=proto,
+            packets=packets, octets=octets, tcp_flags=flags,
+            start_time=0.0, end_time=1.0,
+        )
+        assert flow.payload_bytes >= 0
+        if flow.is_payload_bearing:
+            assert proto == Protocol.TCP
+            assert flow.payload_bytes >= 36
+            assert flags & TCPFlags.ACK
+
+
+class TestStatsProperties:
+    values = st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=100,
+    )
+
+    @given(values)
+    def test_summary_ordering(self, xs):
+        s = summarize(xs)
+        assert s.minimum <= s.q05 <= s.q25 <= s.median <= s.q75 <= s.q95 <= s.maximum
+        # The mean can drift a few ULP outside [min, max] (float summation).
+        slack = 1e-9 * max(1.0, abs(s.minimum), abs(s.maximum))
+        assert s.minimum - slack <= s.mean <= s.maximum + slack
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), values)
+    def test_exceedance_bounds(self, observed, xs):
+        frac = exceedance_fraction(observed, xs)
+        assert 0.0 <= frac <= 1.0
+
+    @given(values)
+    def test_exceeding_everything(self, xs):
+        assert exceedance_fraction(max(xs) + 1, xs) == 1.0
+        assert exceedance_fraction(min(xs) - 1, xs) == 0.0
+
+
+class TestBlocklistProperties:
+    from repro.core.blocklist import Blocklist  # noqa: F401 (import check)
+
+    blocks = st.lists(
+        st.integers(min_value=0, max_value=0xFFFFFF).map(lambda v: v << 8),
+        min_size=1,
+        max_size=30,
+    )
+    days = st.integers(min_value=0, max_value=200)
+
+    @given(blocks, days)
+    def test_listed_blocks_always_match_their_addresses(self, nets, day):
+        from repro.core.blocklist import Blocklist
+        from repro.ipspace.cidr import CIDRBlock
+
+        bl = Blocklist(default_ttl_days=10)
+        for net in nets:
+            bl.add_block(CIDRBlock(net, 24), day=day)
+        for net in nets:
+            assert bl.is_blocked(net + 7, day=day)
+            assert not bl.is_blocked(net + 7, day=day + 10)
+
+    @given(blocks, days, days)
+    def test_prune_never_drops_active_entries(self, nets, add_day, probe_day):
+        from repro.core.blocklist import Blocklist
+        from repro.ipspace.cidr import CIDRBlock
+
+        bl = Blocklist(default_ttl_days=10)
+        for net in nets:
+            bl.add_block(CIDRBlock(net, 24), day=add_day)
+        active_before = {e.block.network for e in bl.entries(day=probe_day)}
+        bl.prune(probe_day)
+        active_after = {e.block.network for e in bl.entries(day=probe_day)}
+        assert active_before == active_after
+
+
+class TestPrefixTableProperties:
+    prefix_lists = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+            st.integers(min_value=8, max_value=28),
+        ),
+        min_size=1,
+        max_size=25,
+    )
+
+    @given(prefix_lists, st.lists(addresses, min_size=1, max_size=40))
+    def test_lpm_matches_brute_force(self, raw_prefixes, probes):
+        from repro.ipspace.clusters import PrefixTable
+        from repro.ipspace.cidr import CIDRBlock
+
+        table = PrefixTable(
+            [CIDRBlock(net, length) for net, length in raw_prefixes]
+        )
+        for probe in probes:
+            expected = None
+            for block in table.prefixes:
+                if block.contains(probe) and (
+                    expected is None or block.prefix_len > expected.prefix_len
+                ):
+                    expected = block
+            assert table.lookup(probe) == expected
+
+    @given(prefix_lists)
+    def test_members_of_prefix_resolve_to_it_or_deeper(self, raw_prefixes):
+        from repro.ipspace.clusters import PrefixTable
+        from repro.ipspace.cidr import CIDRBlock
+
+        table = PrefixTable(
+            [CIDRBlock(net, length) for net, length in raw_prefixes]
+        )
+        for block in table.prefixes:
+            found = table.lookup(block.first_address)
+            assert found is not None
+            assert found.subblock_of(block) or block.subblock_of(found)
+
+
+class TestROCProperties:
+    scored = st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+            st.booleans(),
+        ),
+        min_size=2,
+        max_size=80,
+    ).filter(
+        lambda rows: any(label for _, label in rows)
+        and any(not label for _, label in rows)
+    )
+
+    @given(scored)
+    def test_auc_bounds_and_rate_monotonicity(self, rows):
+        from repro.core.roc import roc_curve
+
+        scores = [s for s, _ in rows]
+        labels = [l for _, l in rows]
+        curve = roc_curve(scores, labels)
+        assert 0.0 <= curve.auc() <= 1.0
+        assert (np.diff(curve.tpr) >= 0).all()
+        assert (np.diff(curve.fpr) >= 0).all()
+        assert curve.tpr[-1] == 1.0 and curve.fpr[-1] == 1.0
+
+    @given(scored)
+    def test_label_inversion_flips_auc(self, rows):
+        from repro.core.roc import auc
+
+        scores = [s for s, _ in rows]
+        labels = [l for _, l in rows]
+        flipped = [not l for l in labels]
+        assert auc(scores, labels) + auc(scores, flipped) == pytest.approx(
+            1.0, abs=1e-9
+        )

@@ -1,0 +1,143 @@
+"""Unit tests for repro.sim.botnet."""
+
+import numpy as np
+import pytest
+
+from repro.sim.botnet import BotnetConfig, BotnetSimulation
+from repro.sim.timeline import Window
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        BotnetConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("horizon_days", 0),
+            ("daily_compromises", 0.0),
+            ("num_channels", 0),
+            ("scanner_fraction", 1.5),
+            ("spammer_fraction", -0.1),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            replace(BotnetConfig(), **{field: value}).validate()
+
+
+class TestGeneration:
+    def test_event_count_near_expectation(self, tiny_botnet):
+        expected = (
+            tiny_botnet.config.daily_compromises * tiny_botnet.config.horizon_days
+        )
+        assert 0.8 * expected < tiny_botnet.num_events < 1.2 * expected
+
+    def test_intervals_within_horizon(self, tiny_botnet):
+        assert (tiny_botnet.start_day >= 0).all()
+        assert (tiny_botnet.end_day <= tiny_botnet.config.horizon_days - 1).all()
+        assert (tiny_botnet.end_day >= tiny_botnet.start_day).all()
+
+    def test_addresses_are_live_hosts(self, tiny_botnet):
+        internet = tiny_botnet.internet
+        for address in tiny_botnet.address[:100]:
+            idx = internet.network_of(int(address))
+            assert idx is not None
+            assert int(address) in internet.host_addresses(idx)
+
+    def test_channels_in_range(self, tiny_botnet):
+        assert (tiny_botnet.channel >= 0).all()
+        assert (tiny_botnet.channel < tiny_botnet.config.num_channels).all()
+
+    def test_compromises_favour_unclean_networks(self, tiny_botnet):
+        internet = tiny_botnet.internet
+        bot_unclean = internet.uncleanliness[tiny_botnet.network_index]
+        assert bot_unclean.mean() > 2 * internet.uncleanliness.mean()
+
+    def test_durations_grow_with_uncleanliness(self, tiny_botnet):
+        internet = tiny_botnet.internet
+        u = internet.uncleanliness[tiny_botnet.network_index]
+        durations = (tiny_botnet.end_day - tiny_botnet.start_day).astype(float)
+        # Exclude horizon-truncated events to avoid censoring bias.
+        free = tiny_botnet.end_day < tiny_botnet.config.horizon_days - 1
+        dirty = free & (u > np.median(u))
+        clean = free & (u <= np.median(u))
+        assert durations[dirty].mean() > durations[clean].mean()
+
+    def test_deterministic_given_seed(self, tiny_internet):
+        config = BotnetConfig(daily_compromises=5.0)
+        a = BotnetSimulation(tiny_internet, config, np.random.default_rng(1))
+        b = BotnetSimulation(tiny_internet, config, np.random.default_rng(1))
+        assert np.array_equal(a.address, b.address)
+        assert np.array_equal(a.end_day, b.end_day)
+
+
+class TestQueries:
+    def test_active_addresses_unique_sorted(self, tiny_botnet):
+        addrs = tiny_botnet.active_addresses(Window(100, 120))
+        assert np.array_equal(addrs, np.unique(addrs))
+
+    def test_active_window_monotone(self, tiny_botnet):
+        narrow = tiny_botnet.active_addresses(Window(100, 105))
+        wide = tiny_botnet.active_addresses(Window(90, 120))
+        assert set(narrow.tolist()) <= set(wide.tolist())
+
+    def test_channel_members_subset_of_active(self, tiny_botnet):
+        window = Window(100, 120)
+        members = tiny_botnet.channel_members(0, window)
+        active = tiny_botnet.active_addresses(window)
+        assert set(members.tolist()) <= set(active.tolist())
+
+    def test_channel_out_of_range(self, tiny_botnet):
+        with pytest.raises(ValueError):
+            tiny_botnet.channel_members(99, Window(0, 1))
+
+    def test_scanner_spammer_filters(self, tiny_botnet):
+        window = Window(100, 160)
+        scanners = tiny_botnet.active_addresses(window, scanners_only=True)
+        spammers = tiny_botnet.active_addresses(window, spammers_only=True)
+        active = tiny_botnet.active_addresses(window)
+        assert set(scanners.tolist()) <= set(active.tolist())
+        assert set(spammers.tolist()) <= set(active.tolist())
+
+    def test_daily_active_count(self, tiny_botnet):
+        count = tiny_botnet.daily_active_count(150)
+        mask = tiny_botnet.active_mask(Window(150, 150))
+        assert count == mask.sum()
+
+    def test_event_indices_match_mask(self, tiny_botnet):
+        window = Window(50, 60)
+        idx = tiny_botnet.event_indices(window)
+        assert tiny_botnet.active_mask(window)[idx].all()
+
+
+class TestCleanup:
+    def test_cleanup_truncates_reported_channel(self, tiny_botnet, rng):
+        report_day = 150
+        cleaned = tiny_botnet.with_cleanup(0, report_day, 3.0, rng)
+        affected = (
+            (tiny_botnet.channel == 0)
+            & (tiny_botnet.start_day <= report_day)
+            & (tiny_botnet.end_day > report_day)
+        )
+        if affected.any():
+            assert (cleaned.end_day[affected] <= tiny_botnet.end_day[affected]).all()
+            # Activity well after the report collapses for that channel.
+            later = Window(report_day + 40, report_day + 60)
+            before_cleanup = tiny_botnet.channel_members(0, later).size
+            after_cleanup = cleaned.channel_members(0, later).size
+            assert after_cleanup <= before_cleanup
+
+    def test_other_channels_untouched(self, tiny_botnet, rng):
+        cleaned = tiny_botnet.with_cleanup(0, 150, 3.0, rng)
+        other = tiny_botnet.channel != 0
+        assert np.array_equal(
+            cleaned.end_day[other], tiny_botnet.end_day[other]
+        )
+
+    def test_original_not_mutated(self, tiny_botnet, rng):
+        before = tiny_botnet.end_day.copy()
+        tiny_botnet.with_cleanup(0, 150, 3.0, rng)
+        assert np.array_equal(before, tiny_botnet.end_day)

@@ -1,0 +1,163 @@
+"""Unit tests for time-varying uncleanliness (repro.sim.dynamics)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.botnet import BotnetConfig, BotnetSimulation
+from repro.sim.dynamics import DynamicsConfig, UncleanlinessProcess
+from repro.sim.timeline import Window
+
+
+@pytest.fixture(scope="module")
+def process(tiny_internet):
+    config = DynamicsConfig(epoch_days=30, horizon_days=334, stability=0.8)
+    return UncleanlinessProcess(tiny_internet, config, np.random.default_rng(5))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        DynamicsConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("epoch_days", 0),
+            ("horizon_days", 0),
+            ("stability", 1.5),
+            ("innovation_sigma", -0.1),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            replace(DynamicsConfig(), **{field: value}).validate()
+
+    def test_num_epochs_ceiling(self):
+        assert DynamicsConfig(epoch_days=30, horizon_days=334).num_epochs == 12
+        assert DynamicsConfig(epoch_days=30, horizon_days=360).num_epochs == 12
+        assert DynamicsConfig(epoch_days=30, horizon_days=361).num_epochs == 13
+
+
+class TestProcess:
+    def test_field_shape_and_bounds(self, process, tiny_internet):
+        assert process.uncleanliness.shape == (12, tiny_internet.num_networks)
+        assert (process.uncleanliness >= 0).all()
+        assert (process.uncleanliness <= 1).all()
+
+    def test_epoch_of(self, process):
+        assert process.epoch_of(0) == 0
+        assert process.epoch_of(29) == 0
+        assert process.epoch_of(30) == 1
+        assert process.epoch_of(333) == 11
+
+    def test_epoch_of_out_of_range(self, process):
+        with pytest.raises(ValueError):
+            process.epoch_of(334)
+        with pytest.raises(ValueError):
+            process.epoch_of(-1)
+
+    def test_at_day_matches_epoch(self, process):
+        assert np.array_equal(process.at_day(45), process.at_epoch(1))
+
+    def test_full_stability_is_static(self, tiny_internet):
+        config = DynamicsConfig(stability=1.0)
+        proc = UncleanlinessProcess(tiny_internet, config, np.random.default_rng(1))
+        for epoch in range(1, config.num_epochs):
+            assert np.allclose(proc.at_epoch(epoch), proc.at_epoch(0))
+        assert proc.field_correlation(0, 300) == pytest.approx(1.0)
+
+    def test_zero_stability_decorrelates(self, tiny_internet):
+        stable = UncleanlinessProcess(
+            tiny_internet, DynamicsConfig(stability=0.95),
+            np.random.default_rng(2),
+        )
+        unstable = UncleanlinessProcess(
+            tiny_internet, DynamicsConfig(stability=0.0),
+            np.random.default_rng(2),
+        )
+        gap = 150
+        assert unstable.field_correlation(0, gap) < stable.field_correlation(0, gap)
+
+    def test_compromise_weights_follow_field(self, process, tiny_internet):
+        weights = process.compromise_weights(day=45)
+        manual = tiny_internet.population * np.power(process.at_day(45), 1.7)
+        assert np.allclose(weights, manual)
+
+    def test_deterministic(self, tiny_internet):
+        config = DynamicsConfig(stability=0.5)
+        a = UncleanlinessProcess(tiny_internet, config, np.random.default_rng(3))
+        b = UncleanlinessProcess(tiny_internet, config, np.random.default_rng(3))
+        assert np.array_equal(a.uncleanliness, b.uncleanliness)
+
+
+class TestBotnetWithDynamics:
+    def test_short_dynamics_horizon_rejected(self, tiny_internet):
+        proc = UncleanlinessProcess(
+            tiny_internet, DynamicsConfig(horizon_days=100),
+            np.random.default_rng(1),
+        )
+        with pytest.raises(ValueError):
+            BotnetSimulation(
+                tiny_internet,
+                BotnetConfig(daily_compromises=5.0, horizon_days=334),
+                np.random.default_rng(2),
+                dynamics=proc,
+            )
+
+    def test_compromises_track_the_current_field(self, tiny_internet):
+        """With an unstable field, compromises in epoch e must
+        concentrate where the field says dirt is in epoch e."""
+        proc = UncleanlinessProcess(
+            tiny_internet,
+            DynamicsConfig(stability=0.0, innovation_sigma=1.0),
+            np.random.default_rng(11),
+        )
+        botnet = BotnetSimulation(
+            tiny_internet,
+            BotnetConfig(daily_compromises=40.0),
+            np.random.default_rng(12),
+            dynamics=proc,
+        )
+        for epoch in (0, 5, 11):
+            field = proc.at_epoch(epoch)
+            mask = botnet.start_day // 30 == epoch
+            if mask.sum() < 50:
+                continue
+            sampled = field[botnet.network_index[mask]]
+            assert sampled.mean() > 1.5 * field.mean()
+
+    def test_stable_dynamics_behaves_like_static(self, tiny_internet):
+        """stability=1 reproduces the static generator's distribution
+        (not bit-identical — RNG order differs — but statistically)."""
+        proc = UncleanlinessProcess(
+            tiny_internet, DynamicsConfig(stability=1.0), np.random.default_rng(13)
+        )
+        dynamic = BotnetSimulation(
+            tiny_internet,
+            BotnetConfig(daily_compromises=40.0),
+            np.random.default_rng(14),
+            dynamics=proc,
+        )
+        static = BotnetSimulation(
+            tiny_internet,
+            BotnetConfig(daily_compromises=40.0),
+            np.random.default_rng(14),
+        )
+        u = tiny_internet.uncleanliness
+        dyn_mean = u[dynamic.network_index].mean()
+        sta_mean = u[static.network_index].mean()
+        assert abs(dyn_mean - sta_mean) < 0.1 * max(sta_mean, 1e-9)
+
+    def test_cleanup_preserves_dynamics_reference(self, tiny_internet, rng):
+        proc = UncleanlinessProcess(
+            tiny_internet, DynamicsConfig(stability=0.5), np.random.default_rng(15)
+        )
+        botnet = BotnetSimulation(
+            tiny_internet,
+            BotnetConfig(daily_compromises=10.0),
+            np.random.default_rng(16),
+            dynamics=proc,
+        )
+        cleaned = botnet.with_cleanup(0, 150, 3.0, rng)
+        assert cleaned.dynamics is proc

@@ -1,0 +1,82 @@
+"""Unit tests for repro.sim.phishing."""
+
+import numpy as np
+import pytest
+
+from repro.sim.phishing import PhishingConfig, PhishingSimulation
+from repro.sim.timeline import Window
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        PhishingConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("horizon_days", 0), ("daily_sites", 0.0), ("mean_lifetime_days", 0.0)],
+    )
+    def test_invalid_rejected(self, field, value):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            replace(PhishingConfig(), **{field: value}).validate()
+
+
+class TestGeneration:
+    def test_site_count_near_expectation(self, tiny_phishing):
+        expected = (
+            tiny_phishing.config.daily_sites * tiny_phishing.config.horizon_days
+        )
+        assert 0.8 * expected < tiny_phishing.num_sites < 1.2 * expected
+
+    def test_intervals_within_horizon(self, tiny_phishing):
+        assert (tiny_phishing.start_day >= 0).all()
+        assert (tiny_phishing.end_day <= tiny_phishing.config.horizon_days - 1).all()
+        assert (tiny_phishing.end_day >= tiny_phishing.start_day).all()
+
+    def test_sites_prefer_hosting_space(self):
+        from repro.sim.internet import InternetConfig, SyntheticInternet
+
+        internet = SyntheticInternet(
+            InternetConfig(num_slash16=400, hosting_fraction=0.08),
+            np.random.default_rng(21),
+        )
+        phishing = PhishingSimulation(
+            internet, PhishingConfig(daily_sites=6.0), np.random.default_rng(22)
+        )
+        hosted = internet.hosting[phishing.network_index].mean()
+        baseline = internet.hosting.mean()
+        assert hosted > 4 * baseline
+
+    def test_phishing_decoupled_from_uncleanliness(self, tiny_phishing, tiny_botnet):
+        # Phishing sites should NOT concentrate in unclean space the way
+        # bots do — the §5.2 multidimensionality result.
+        internet = tiny_phishing.internet
+        phish_u = internet.uncleanliness[tiny_phishing.network_index].mean()
+        bot_u = internet.uncleanliness[tiny_botnet.network_index].mean()
+        assert phish_u < 0.6 * bot_u
+
+    def test_deterministic_given_seed(self, tiny_internet):
+        config = PhishingConfig(daily_sites=2.0)
+        a = PhishingSimulation(tiny_internet, config, np.random.default_rng(1))
+        b = PhishingSimulation(tiny_internet, config, np.random.default_rng(1))
+        assert np.array_equal(a.address, b.address)
+
+
+class TestQueries:
+    def test_active_addresses_unique(self, tiny_phishing):
+        addrs = tiny_phishing.active_addresses(Window(100, 160))
+        assert np.array_equal(addrs, np.unique(addrs))
+
+    def test_window_monotone(self, tiny_phishing):
+        narrow = tiny_phishing.active_addresses(Window(120, 125))
+        wide = tiny_phishing.active_addresses(Window(100, 160))
+        assert set(narrow.tolist()) <= set(wide.tolist())
+
+    def test_sites_persist_across_weeks(self, tiny_phishing):
+        # Mean lifetime ~25 days: adjacent fortnights share many sites.
+        first = set(tiny_phishing.active_addresses(Window(100, 113)).tolist())
+        second = set(tiny_phishing.active_addresses(Window(114, 127)).tolist())
+        if first and second:
+            overlap = len(first & second) / min(len(first), len(second))
+            assert overlap > 0.3

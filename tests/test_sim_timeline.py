@@ -1,0 +1,99 @@
+"""Unit tests for repro.sim.timeline."""
+
+import datetime
+
+import pytest
+
+from repro.sim.timeline import (
+    DAY_SECONDS,
+    EPOCH,
+    PAPER_WINDOWS,
+    Window,
+    date_to_day,
+    day_to_date,
+)
+
+
+class TestDayConversion:
+    def test_epoch_is_day_zero(self):
+        assert date_to_day(EPOCH) == 0
+        assert day_to_date(0) == EPOCH
+
+    def test_round_trip(self):
+        for day in (0, 1, 100, 333):
+            assert date_to_day(day_to_date(day)) == day
+
+    def test_known_date(self):
+        assert day_to_date(date_to_day(datetime.date(2006, 10, 1))) == datetime.date(
+            2006, 10, 1
+        )
+
+
+class TestWindow:
+    def test_from_dates(self):
+        w = Window.from_dates(datetime.date(2006, 10, 1), datetime.date(2006, 10, 14))
+        assert w.num_days == 14
+
+    def test_single_day(self):
+        w = Window(5, 5)
+        assert w.num_days == 1
+        assert w.contains_day(5)
+        assert not w.contains_day(6)
+
+    def test_reversed_rejected(self):
+        with pytest.raises(ValueError):
+            Window(10, 9)
+
+    def test_seconds(self):
+        w = Window(2, 3)
+        assert w.start_second == 2 * DAY_SECONDS
+        assert w.end_second == 4 * DAY_SECONDS
+
+    def test_days_iterator(self):
+        assert list(Window(3, 5).days()) == [3, 4, 5]
+
+    def test_overlaps(self):
+        assert Window(0, 10).overlaps(Window(10, 20))
+        assert Window(0, 10).overlaps(Window(5, 7))
+        assert not Window(0, 10).overlaps(Window(11, 20))
+
+    def test_dates_round_trip(self):
+        w = Window.from_dates(datetime.date(2006, 5, 10), datetime.date(2006, 5, 10))
+        assert w.dates() == (datetime.date(2006, 5, 10), datetime.date(2006, 5, 10))
+
+    def test_str(self):
+        w = Window.from_dates(datetime.date(2006, 10, 1), datetime.date(2006, 10, 14))
+        assert str(w) == "2006-10-01..2006-10-14"
+
+    def test_ordering(self):
+        assert Window(0, 5) < Window(1, 2)
+
+
+class TestPaperWindows:
+    def test_october(self):
+        assert PAPER_WINDOWS.OCTOBER.dates() == (
+            datetime.date(2006, 10, 1),
+            datetime.date(2006, 10, 14),
+        )
+        assert PAPER_WINDOWS.OCTOBER.num_days == 14
+
+    def test_control_week(self):
+        assert PAPER_WINDOWS.CONTROL.dates() == (
+            datetime.date(2006, 9, 25),
+            datetime.date(2006, 10, 2),
+        )
+
+    def test_bot_test_five_months_before_october(self):
+        gap = PAPER_WINDOWS.OCTOBER.start_day - PAPER_WINDOWS.BOT_TEST.start_day
+        assert 140 <= gap <= 160  # "a five month gap in time"
+
+    def test_phish_window_is_six_months(self):
+        assert 175 <= PAPER_WINDOWS.PHISH.num_days <= 190
+
+    def test_figure1_spans_january_to_april(self):
+        start, end = PAPER_WINDOWS.FIGURE1.dates()
+        assert start.month == 1
+        assert end.month == 4
+
+    def test_figure1_bot_report_inside_observation(self):
+        assert PAPER_WINDOWS.FIGURE1.overlaps(PAPER_WINDOWS.FIGURE1_BOT)
