@@ -3,16 +3,23 @@
 Usage::
 
     uncleanliness table1 [--small] [--seed N]
-    uncleanliness figure4 [--subsets N]
+    uncleanliness figure4 [--subsets N] [--workers W]
     uncleanliness all --small
     uncleanliness ablation
     uncleanliness score --reports bots.txt scan.txt --threshold 0.5 \
         --output blocklist.txt
     uncleanliness validate --small
     uncleanliness profile --reports feed.txt
+    uncleanliness cache [info|clear]
 
 The ``--small`` flag runs the ~100x reduced scenario (seconds instead of
 a minute); shapes are preserved but the counts are proportionally lower.
+
+Scenario artifacts are cached by the staged engine (``~/.cache/repro``
+or ``$REPRO_CACHE_DIR``), so a warm rerun of any table/figure skips the
+simulation; ``uncleanliness cache`` inspects or clears that cache.
+``--workers`` (default ``$REPRO_WORKERS`` or serial) parallelises the
+Monte-Carlo control subsets with bit-identical results.
 """
 
 from __future__ import annotations
@@ -62,11 +69,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(_SCENARIO_EXPERIMENTS)
-        + ["figure1", "ablation", "all", "score", "validate", "profile"],
+        + ["figure1", "ablation", "all", "score", "validate", "profile", "cache"],
         help="which experiment to regenerate; 'score' scores user-provided "
         "report files into a /24 blocklist, 'validate' runs the statistical "
         "generator checks, 'profile' prints the address-structure profile "
-        "of report files",
+        "of report files, 'cache' inspects or clears the artifact cache",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        help="(cache) 'info' (default) or 'clear'",
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="scenario seed (default: paper seed)"
@@ -81,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=200,
         help="Monte-Carlo control subsets for the density/prediction tests",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="Monte-Carlo worker processes (default: $REPRO_WORKERS or 1); "
+        "results are bit-identical for any value",
     )
     parser.add_argument(
         "--reports",
@@ -107,6 +127,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="(score) write the blocklist here instead of stdout",
     )
     return parser
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the staged-artifact cache."""
+    from repro.engine import default_store
+
+    store = default_store()
+    action = args.action or "info"
+    if action == "info":
+        info = store.info()
+        print("Staged artifact cache:")
+        print(f"  disk dir:       {info['disk_dir'] or '(disk layer disabled)'}")
+        print(f"  disk files:     {info['disk_files']} "
+              f"({info['disk_bytes']} bytes)")
+        print(f"  memory entries: {info['memory_entries']} "
+              f"(max {info['max_memory_items']})")
+        print(f"  hits:           {info['memory_hits']} memory, "
+              f"{info['disk_hits']} disk; misses: {info['misses']}")
+        return 0
+    if action == "clear":
+        removed = store.clear()
+        print(f"cleared artifact cache ({removed} disk file(s) removed)")
+        return 0
+    print(f"unknown cache action {action!r}; use 'info' or 'clear'",
+          file=sys.stderr)
+    return 2
 
 
 def _run_validate(args: argparse.Namespace) -> int:
@@ -196,7 +242,9 @@ def _run_one(name: str, scenario: PaperScenario, args: argparse.Namespace) -> st
     module, takes_subsets = _SCENARIO_EXPERIMENTS[name]
     if takes_subsets:
         rng = np.random.default_rng(scenario.config.seed ^ 0xC1D)
-        result = module.run(scenario, rng, subsets=args.subsets)
+        result = module.run(
+            scenario, rng, subsets=args.subsets, workers=args.workers
+        )
     else:
         result = module.run(scenario)
     return module.format_result(result)
@@ -204,6 +252,9 @@ def _run_one(name: str, scenario: PaperScenario, args: argparse.Namespace) -> st
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.experiment == "cache":
+        return _run_cache(args)
 
     if args.experiment == "score":
         return _run_score(args)
@@ -260,7 +311,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         ))
         return 0
 
-    scenario = PaperScenario(_scenario_config(args))
+    from repro.experiments.common import default_scenario
+
+    scenario = default_scenario(_scenario_config(args))
     names = _ALL if args.experiment == "all" else (args.experiment,)
     outputs = [_run_one(name, scenario, args) for name in names]
     print("\n\n".join(outputs))

@@ -15,13 +15,14 @@ estimate that Figure 2 shows to be badly over-dispersed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core import cidr as rcidr
 from repro.core.report import Report
-from repro.core.sampling import empirical_subsets, naive_sample
+from repro.core.sampling import monte_carlo, naive_sample
 from repro.core.stats import BoxplotSummary, summarize
 
 __all__ = [
@@ -106,22 +107,37 @@ def density_curve(report: Report, prefixes: Iterable[int] = rcidr.PREFIX_RANGE) 
     return rcidr.block_counts(report, prefixes)
 
 
+def _block_count_vector(report: Report, prefixes: Sequence[int]) -> List[int]:
+    """Per-prefix block counts — the Monte-Carlo statistic of Figs. 2-3.
+
+    Module-level (not a closure) so the parallel ``monte_carlo`` path can
+    pickle it into worker processes.
+    """
+    return [rcidr.block_count(report, n) for n in prefixes]
+
+
 def control_density_distribution(
     control: Report,
     size: int,
     prefixes: Sequence[int],
     subsets: int,
     rng: np.random.Generator,
+    workers: Optional[int] = None,
 ) -> Dict[int, np.ndarray]:
     """Monte-Carlo block-count distributions over random control subsets.
 
     Returns ``{n: array of |C_n(subset)| over all subsets}``.
     """
-    counts: Dict[int, list] = {n: [] for n in prefixes}
-    for subset in empirical_subsets(control, size, subsets, rng):
-        for n in prefixes:
-            counts[n].append(rcidr.block_count(subset, n))
-    return {n: np.asarray(values, dtype=float) for n, values in counts.items()}
+    prefixes = tuple(prefixes)
+    matrix = monte_carlo(
+        control,
+        size,
+        subsets,
+        rng,
+        statistic=partial(_block_count_vector, prefixes=prefixes),
+        workers=workers,
+    )
+    return {n: matrix[:, column] for column, n in enumerate(prefixes)}
 
 
 def naive_density_distribution(
@@ -147,6 +163,7 @@ def density_test(
     subsets: int = 1000,
     include_naive: bool = False,
     naive_subsets: int = 20,
+    workers: Optional[int] = None,
 ) -> DensityResult:
     """Run the spatial uncleanliness test of §4.2 for one report.
 
@@ -154,7 +171,9 @@ def density_test(
     random subsets of ``control`` at every prefix in ``prefixes``.  When
     ``include_naive`` is set, also computes the naive IANA-uniform
     estimate (Fig. 2); the naive distribution is extremely narrow, so a
-    small ``naive_subsets`` suffices.
+    small ``naive_subsets`` suffices.  ``workers`` distributes the
+    control subsets over processes (``None`` = ``$REPRO_WORKERS`` or
+    serial) with bit-identical results.
     """
     prefixes = tuple(prefixes)
     size = len(unclean)
@@ -165,7 +184,9 @@ def density_test(
             f"control report ({len(control)}) smaller than unclean report ({size})"
         )
     observed = density_curve(unclean, prefixes)
-    control_dist = control_density_distribution(control, size, prefixes, subsets, rng)
+    control_dist = control_density_distribution(
+        control, size, prefixes, subsets, rng, workers=workers
+    )
     control_summaries = {n: summarize(v) for n, v in control_dist.items()}
     naive_summaries = None
     if include_naive:

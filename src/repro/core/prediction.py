@@ -15,13 +15,14 @@ random control draws (§5.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core import cidr as rcidr
 from repro.core.report import Report
-from repro.core.sampling import empirical_subsets
+from repro.core.sampling import monte_carlo
 from repro.core.stats import BoxplotSummary, exceedance_fraction, summarize
 
 __all__ = [
@@ -97,6 +98,24 @@ class PredictionResult:
         ]
 
 
+def _intersection_vector(
+    subset: Report,
+    present_blocks: Tuple[np.ndarray, ...],
+    prefixes: Tuple[int, ...],
+) -> List[int]:
+    """Per-prefix block intersections with the (precomputed) present
+    report — the Monte-Carlo statistic of Figs. 4-5.
+
+    Module-level (not a closure) so the parallel ``monte_carlo`` path can
+    pickle it into worker processes.
+    """
+    values = []
+    for blocks, n in zip(present_blocks, prefixes):
+        subset_blocks = rcidr.cidr_set(subset, n)
+        values.append(int(np.intersect1d(subset_blocks, blocks).size))
+    return values
+
+
 def prediction_test(
     past: Report,
     present: Report,
@@ -104,13 +123,16 @@ def prediction_test(
     rng: np.random.Generator,
     prefixes: Sequence[int] = tuple(rcidr.PREFIX_RANGE),
     subsets: int = 1000,
+    workers: Optional[int] = None,
 ) -> PredictionResult:
     """Run the temporal uncleanliness test of §5.2.
 
     Compares ``|C_n(past) ∩ C_n(present)|`` against the distribution of
     ``|C_n(random control subset) ∩ C_n(present)|`` over ``subsets``
     draws, where each control subset has the cardinality of ``past``
-    (the equal-cardinality condition of Eq. 5).
+    (the equal-cardinality condition of Eq. 5).  ``workers`` distributes
+    the draws over processes (``None`` = ``$REPRO_WORKERS`` or serial)
+    with bit-identical results.
     """
     prefixes = tuple(prefixes)
     size = len(past)
@@ -122,13 +144,22 @@ def prediction_test(
         )
     observed = rcidr.intersection_counts(past, present, prefixes)
 
-    control_values: Dict[int, list] = {n: [] for n in prefixes}
-    present_blocks = {n: rcidr.cidr_set(present, n) for n in prefixes}
-    for subset in empirical_subsets(control, size, subsets, rng):
-        for n in prefixes:
-            subset_blocks = rcidr.cidr_set(subset, n)
-            common = np.intersect1d(subset_blocks, present_blocks[n])
-            control_values[n].append(int(common.size))
+    present_blocks = tuple(rcidr.cidr_set(present, n) for n in prefixes)
+    matrix = monte_carlo(
+        control,
+        size,
+        subsets,
+        rng,
+        statistic=partial(
+            _intersection_vector,
+            present_blocks=present_blocks,
+            prefixes=prefixes,
+        ),
+        workers=workers,
+    )
+    control_values: Dict[int, np.ndarray] = {
+        n: matrix[:, column] for column, n in enumerate(prefixes)
+    }
 
     control_summaries = {
         n: summarize(values) for n, values in control_values.items()

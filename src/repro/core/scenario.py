@@ -7,6 +7,14 @@ detectors, and materialises every report of Table 1 (bot, phish, scan,
 spam, bot-test, control) plus the Table 2 union report — all
 deterministically from one seed.
 
+Since the staged-artifact refactor, :class:`PaperScenario` is a thin
+facade over the engine pipeline of :mod:`repro.core.stages`: nothing is
+simulated until an attribute is first touched, and every stage value is
+cached in the fingerprint-keyed artifact store
+(:mod:`repro.engine.store`), so scenarios sharing a configuration —
+across experiments, benchmarks and even across processes for the
+disk-persisted report stages — are built exactly once.
+
 Scale note: report sizes default to roughly 1/64 of the paper's (e.g.
 ~10k provided bot addresses instead of 621,861) except the small
 hypothesis-testing reports (bot-test at 186 addresses), which are kept at
@@ -17,28 +25,20 @@ comparison, so scaling preserves shape.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from functools import cached_property
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
-from repro.core.blocking import (
-    BlockingResult,
-    CandidatePartition,
-    blocking_test,
-    partition_candidates,
-)
-from repro.core.report import DataClass, Report, ReportType
-from repro.detect.botlog import BotLogConfig, BotLogMonitor
-from repro.detect.phishlist import PhishListAggregator, PhishListConfig
-from repro.detect.scan import ScanDetector, ScanDetectorConfig
-from repro.detect.spam import SpamDetector, SpamDetectorConfig
-from repro.flows.generator import BorderTraffic, TrafficConfig, TrafficGenerator
+from repro.core.blocking import BlockingResult, CandidatePartition, blocking_test
+from repro.core.report import Report
+from repro.detect.botlog import BotLogConfig
+from repro.detect.phishlist import PhishListConfig
+from repro.detect.scan import ScanDetectorConfig
+from repro.detect.spam import SpamDetectorConfig
+from repro.engine.fingerprint import fingerprint as _fingerprint
+from repro.flows.generator import BorderTraffic, TrafficConfig
 from repro.sim.botnet import BotnetConfig, BotnetSimulation
 from repro.sim.internet import InternetConfig, SyntheticInternet
 from repro.sim.phishing import PhishingConfig, PhishingSimulation
-from repro.sim.timeline import PAPER_WINDOWS, Window
 
 __all__ = ["ScenarioConfig", "PaperScenario"]
 
@@ -89,6 +89,15 @@ class ScenarioConfig:
                 "the paper's R_bot-test is an unrelated botnet"
             )
 
+    def fingerprint(self) -> str:
+        """A stable hash of *every* field (not just the seed).
+
+        Two configs sharing a seed but differing anywhere — even deep in
+        a sub-config — fingerprint differently; the artifact store and
+        :func:`repro.experiments.common.default_scenario` key on this.
+        """
+        return _fingerprint(self)
+
     @classmethod
     def small(cls, seed: int = 7) -> "ScenarioConfig":
         """A fast configuration for tests: ~100x smaller than default."""
@@ -106,163 +115,49 @@ class ScenarioConfig:
 
 
 class PaperScenario:
-    """The built datasets: simulations, traffic, and all reports."""
+    """Lazy facade over the staged pipeline; same attribute API as ever.
 
-    def __init__(self, config: Optional[ScenarioConfig] = None) -> None:
+    Touching :attr:`internet`, :attr:`botnet`, :attr:`phishing`,
+    :attr:`october_traffic`, :attr:`reports` or :attr:`partition`
+    resolves the corresponding stage through the artifact store —
+    nothing is simulated at construction time.
+    """
+
+    def __init__(self, config: Optional[ScenarioConfig] = None, *, engine=None) -> None:
         self.config = config or ScenarioConfig()
         self.config.validate()
-        self._build()
+        if engine is None:
+            from repro.core.stages import scenario_engine
 
-    # -- construction -----------------------------------------------------
+            engine = scenario_engine()
+        self._engine = engine
 
-    def _build(self) -> None:
-        cfg = self.config
-        seeds = np.random.SeedSequence(cfg.seed).spawn(8)
-        rngs = [np.random.default_rng(s) for s in seeds]
+    # -- stage access ------------------------------------------------------
 
-        self.internet = SyntheticInternet(cfg.internet, rngs[0])
-        self.botnet = BotnetSimulation(self.internet, cfg.botnet, rngs[1])
-        self.phishing = PhishingSimulation(self.internet, cfg.phishing, rngs[2])
+    @property
+    def engine(self):
+        """The stage engine resolving this scenario's artifacts."""
+        return self._engine
 
-        generator = TrafficGenerator(self.internet, self.botnet, cfg.traffic)
-        self.october_traffic: BorderTraffic = generator.generate(
-            PAPER_WINDOWS.OCTOBER, rngs[3]
-        )
+    @property
+    def internet(self) -> SyntheticInternet:
+        return self._engine.resolve(self.config, "internet")
 
-        self.reports: Dict[str, Report] = {}
-        self._build_observed_reports(rngs[4])
-        self._build_provided_reports(rngs[5])
-        self._build_test_reports(rngs[6])
-        self._build_control(rngs[7])
-        self.reports["unclean"] = self._union_report()
+    @property
+    def botnet(self) -> BotnetSimulation:
+        return self._engine.resolve(self.config, "botnet")
 
-    def _build_observed_reports(self, rng: np.random.Generator) -> None:
-        """Run the detectors over the October border capture."""
-        cfg = self.config
-        window = PAPER_WINDOWS.OCTOBER
-        flows = self.october_traffic.flows
+    @property
+    def phishing(self) -> PhishingSimulation:
+        return self._engine.resolve(self.config, "phishing")
 
-        scanners = ScanDetector(cfg.scan_detector).detect(flows)
-        self.reports["scan"] = Report(
-            tag="scan",
-            addresses=scanners,
-            report_type=ReportType.OBSERVED,
-            data_class=DataClass.SCANNING,
-            period=window.dates(),
-        ).without_reserved()
+    @property
+    def october_traffic(self) -> BorderTraffic:
+        return self._engine.resolve(self.config, "traffic")
 
-        spammers = SpamDetector(cfg.spam_detector).detect(flows)
-        self.reports["spam"] = Report(
-            tag="spam",
-            addresses=spammers,
-            report_type=ReportType.OBSERVED,
-            data_class=DataClass.SPAM,
-            period=window.dates(),
-        ).without_reserved()
-
-    def _build_provided_reports(self, rng: np.random.Generator) -> None:
-        """The third-party feeds: October bots, six-month phishing."""
-        cfg = self.config
-        monitor = BotLogMonitor(cfg.monitor)
-        bots = monitor.observe(
-            self.botnet,
-            PAPER_WINDOWS.OCTOBER,
-            rng,
-            channels=cfg.bot_report_channels,
-        )
-        self.reports["bot"] = Report(
-            tag="bot",
-            addresses=bots,
-            report_type=ReportType.PROVIDED,
-            data_class=DataClass.BOTS,
-            period=PAPER_WINDOWS.OCTOBER.dates(),
-        ).without_reserved()
-
-        phishlist = PhishListAggregator(cfg.phishlist)
-        phish = phishlist.observe(self.phishing, PAPER_WINDOWS.PHISH, rng)
-        self.reports["phish"] = Report(
-            tag="phish",
-            addresses=phish,
-            report_type=ReportType.PROVIDED,
-            data_class=DataClass.PHISHING,
-            period=PAPER_WINDOWS.PHISH.dates(),
-        ).without_reserved()
-
-        # R_phish-present: the October sub-report of R_phish used as the
-        # prediction target in Figures 4(ii) and 5.
-        phish_present = phishlist.observe(self.phishing, PAPER_WINDOWS.OCTOBER, rng)
-        self.reports["phish-present"] = Report(
-            tag="phish-present",
-            addresses=phish_present,
-            report_type=ReportType.PROVIDED,
-            data_class=DataClass.PHISHING,
-            period=PAPER_WINDOWS.OCTOBER.dates(),
-        ).without_reserved()
-
-    def _build_test_reports(self, rng: np.random.Generator) -> None:
-        """R_bot-test (May 10) and R_phish-test (May listings)."""
-        cfg = self.config
-        members = self.botnet.channel_members(
-            cfg.bot_test_channel, PAPER_WINDOWS.BOT_TEST
-        )
-        if members.size > cfg.bot_test_size:
-            members = rng.choice(members, size=cfg.bot_test_size, replace=False)
-        self.reports["bot-test"] = Report(
-            tag="bot-test",
-            addresses=members,
-            report_type=ReportType.PROVIDED,
-            data_class=DataClass.BOTS,
-            period=PAPER_WINDOWS.BOT_TEST.dates(),
-        ).without_reserved()
-
-        phishlist = PhishListAggregator(cfg.phishlist)
-        phish_test = phishlist.observe(self.phishing, PAPER_WINDOWS.PHISH_TEST, rng)
-        if cfg.phish_test_size is not None and phish_test.size > cfg.phish_test_size:
-            phish_test = rng.choice(phish_test, size=cfg.phish_test_size, replace=False)
-        self.reports["phish-test"] = Report(
-            tag="phish-test",
-            addresses=phish_test,
-            report_type=ReportType.PROVIDED,
-            data_class=DataClass.PHISHING,
-            period=PAPER_WINDOWS.PHISH_TEST.dates(),
-        ).without_reserved()
-
-    def _build_control(self, rng: np.random.Generator) -> None:
-        """R_control: active addresses at the vantage, population-weighted.
-
-        The paper's control is every address seen in payload-bearing TCP
-        during the week of September 25th (46.9M of them).  At
-        reproduction scale we draw the configured number of distinct live
-        hosts weighted by network population — the same "active address
-        at a busy vantage" distribution — rather than generating a week
-        of full-Internet traffic.
-        """
-        addresses = self.internet.sample_unique_hosts(
-            self.config.control_size, rng
-        )
-        self.reports["control"] = Report(
-            tag="control",
-            addresses=addresses,
-            report_type=ReportType.OBSERVED,
-            data_class=DataClass.NONE,
-            period=PAPER_WINDOWS.CONTROL.dates(),
-        ).without_reserved()
-
-    def _union_report(self) -> Report:
-        """R_unclean: the union of the four unclean reports (Table 2)."""
-        union = (
-            self.reports["bot"]
-            | self.reports["phish"]
-            | self.reports["scan"]
-            | self.reports["spam"]
-        )
-        return Report(
-            tag="unclean",
-            addresses=union.addresses,
-            report_type=ReportType.PROVIDED,
-            data_class=DataClass.SPECIAL,
-            period=PAPER_WINDOWS.OCTOBER.dates(),
-        )
+    @property
+    def reports(self) -> Dict[str, Report]:
+        return self._engine.resolve(self.config, "reports")
 
     # -- access ------------------------------------------------------------
 
@@ -318,12 +213,10 @@ class PaperScenario:
 
     # -- §6 blocking --------------------------------------------------------
 
-    @cached_property
+    @property
     def partition(self) -> CandidatePartition:
         """The Table 2 candidate partition over October traffic."""
-        return partition_candidates(
-            self.october_traffic.flows, self.bot_test, self.unclean
-        )
+        return self._engine.resolve(self.config, "partition")
 
     def blocking(self) -> BlockingResult:
         """Table 3: the virtual blocking scores."""

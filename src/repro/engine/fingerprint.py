@@ -1,0 +1,84 @@
+"""Deterministic fingerprints of configuration objects.
+
+The artifact store keys every cached stage by the *full* configuration
+that produced it, not just its seed: two :class:`ScenarioConfig`\\ s that
+share a seed but differ in any field must never collide.  The
+fingerprint is the SHA-256 of a canonical JSON rendering of the object:
+
+* dataclass fields are serialised **sorted by field name**, so the
+  declaration order of fields never affects the fingerprint;
+* values equal to their defaults hash identically whether they were
+  spelled out or left implicit (both render the same value);
+* containers, numpy scalars/arrays, dates and plain scalars are reduced
+  to portable JSON forms, so fingerprints are stable across Python and
+  numpy versions and across processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["canonicalize", "fingerprint"]
+
+#: Bump when the canonical form changes so stale disk entries miss.
+FINGERPRINT_VERSION = 1
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a canonical JSON-serialisable form.
+
+    Raises ``TypeError`` for values with no stable canonical form
+    (functions, open files, RNGs...) — configurations must be plain
+    data.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = sorted(dataclasses.fields(obj), key=lambda f: f.name)
+        return {
+            "__dataclass__": type(obj).__name__,
+            "fields": {
+                f.name: canonicalize(getattr(obj, f.name)) for f in fields
+            },
+        }
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        # repr round-trips doubles exactly; json uses it natively.
+        return float(obj)
+    if isinstance(obj, (datetime.date, datetime.datetime)):
+        return {"__date__": obj.isoformat()}
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": obj.tolist(), "dtype": str(obj.dtype)}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return {"__set__": sorted(canonicalize(v) for v in obj)}
+    if isinstance(obj, dict):
+        return {
+            "__mapping__": [
+                [canonicalize(k), canonicalize(v)]
+                for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+            ]
+        }
+    raise TypeError(
+        f"cannot fingerprint {type(obj).__name__!r}: configurations must "
+        "be plain data (dataclasses, scalars, containers, arrays, dates)"
+    )
+
+
+def fingerprint(obj: Any) -> str:
+    """A stable hex digest identifying ``obj``'s full contents."""
+    payload = json.dumps(
+        {"v": FINGERPRINT_VERSION, "value": canonicalize(obj)},
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]

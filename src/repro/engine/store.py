@@ -1,0 +1,327 @@
+"""Content-addressed artifact store: in-memory LRU plus on-disk layer.
+
+Keys are ``"<config-fingerprint>/<stage-name>"`` strings.  Every value
+lives in a bounded in-memory LRU; stages that declare a :class:`Codec`
+additionally persist to disk so the artifact survives across processes
+(warm CLI runs, CI steps, benchmark sessions).
+
+Disk location: ``$REPRO_CACHE_DIR`` when set (an empty value disables
+the disk layer entirely), otherwise ``~/.cache/repro``.  Payloads are
+``.npz`` arrays plus a ``.json`` metadata sidecar — nothing is pickled,
+so a corrupt or version-skewed entry simply misses and is rebuilt.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.blocking import CandidatePartition
+from repro.core.report import Report
+
+__all__ = [
+    "MISS",
+    "Codec",
+    "ReportMappingCodec",
+    "PartitionCodec",
+    "ArtifactStore",
+    "resolve_cache_dir",
+    "default_store",
+    "set_default_store",
+    "reset_default_store",
+]
+
+#: Sentinel returned by :meth:`ArtifactStore.get` on a miss (``None`` can
+#: be a legitimate artifact value).
+MISS = object()
+
+#: Bump when the on-disk payload layout changes.
+STORE_FORMAT_VERSION = 1
+
+
+def _sidecar(base: Path) -> Path:
+    """Metadata path for a base name (append, never replace, a suffix —
+    the base already contains dots from the cache key)."""
+    return base.parent / (base.name + ".json")
+
+
+def _payload(base: Path) -> Path:
+    """Array-payload path for a base name."""
+    return base.parent / (base.name + ".npz")
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write-then-rename so concurrent readers never see a torn file."""
+    with tempfile.NamedTemporaryFile(
+        dir=str(path.parent), suffix=path.suffix + ".tmp", delete=False
+    ) as handle:
+        handle.write(data)
+        tmp = handle.name
+    os.replace(tmp, str(path))
+
+
+class Codec:
+    """Serialises one stage's value to ``<base>.npz`` + ``<base>.json``.
+
+    Subclasses implement :meth:`to_payload` / :meth:`from_payload`
+    mapping the value to ``(arrays, meta)`` where ``arrays`` is a
+    ``{name: ndarray}`` dict and ``meta`` is JSON-serialisable.
+    """
+
+    name = "codec"
+
+    def to_payload(self, value: Any):
+        raise NotImplementedError
+
+    def from_payload(self, arrays: Dict[str, np.ndarray], meta: Any) -> Any:
+        raise NotImplementedError
+
+    # -- file plumbing ----------------------------------------------------
+
+    def dump(self, value: Any, base: Path) -> None:
+        arrays, meta = self.to_payload(value)
+        envelope = {
+            "format": STORE_FORMAT_VERSION,
+            "codec": self.name,
+            "meta": meta,
+        }
+        _atomic_write_bytes(
+            _sidecar(base),
+            json.dumps(envelope, sort_keys=True).encode("utf-8"),
+        )
+        with tempfile.NamedTemporaryFile(
+            dir=str(base.parent), suffix=".npz.tmp", delete=False
+        ) as handle:
+            np.savez(handle, **arrays)
+            tmp = handle.name
+        os.replace(tmp, str(_payload(base)))
+
+    def load(self, base: Path) -> Any:
+        envelope = json.loads(_sidecar(base).read_text())
+        if envelope.get("format") != STORE_FORMAT_VERSION:
+            raise ValueError("store format version mismatch")
+        if envelope.get("codec") != self.name:
+            raise ValueError("codec mismatch")
+        with np.load(str(_payload(base))) as payload:
+            arrays = {key: payload[key] for key in payload.files}
+        return self.from_payload(arrays, envelope["meta"])
+
+
+def _report_meta(report: Report) -> dict:
+    period = None
+    if report.period is not None:
+        period = [report.period[0].isoformat(), report.period[1].isoformat()]
+    return {
+        "tag": report.tag,
+        "report_type": report.report_type,
+        "data_class": report.data_class,
+        "period": period,
+    }
+
+
+def _report_from(addresses: np.ndarray, meta: dict) -> Report:
+    period = None
+    if meta["period"] is not None:
+        period = (
+            datetime.date.fromisoformat(meta["period"][0]),
+            datetime.date.fromisoformat(meta["period"][1]),
+        )
+    return Report(
+        tag=meta["tag"],
+        addresses=addresses.astype(np.uint32),
+        report_type=meta["report_type"],
+        data_class=meta["data_class"],
+        period=period,
+    )
+
+
+class ReportMappingCodec(Codec):
+    """``{key: Report}`` dicts — e.g. the scenario's Table 1 reports."""
+
+    name = "report-mapping"
+
+    def to_payload(self, value: Dict[str, Report]):
+        arrays = {key: report.addresses for key, report in value.items()}
+        meta = {key: _report_meta(report) for key, report in value.items()}
+        return arrays, meta
+
+    def from_payload(self, arrays, meta) -> Dict[str, Report]:
+        return {key: _report_from(arrays[key], meta[key]) for key in meta}
+
+
+class PartitionCodec(Codec):
+    """The §6 :class:`CandidatePartition` (four reports)."""
+
+    name = "candidate-partition"
+    _FIELDS = ("candidate", "hostile", "unknown", "innocent")
+
+    def to_payload(self, value: CandidatePartition):
+        reports = {name: getattr(value, name) for name in self._FIELDS}
+        arrays = {name: report.addresses for name, report in reports.items()}
+        meta = {name: _report_meta(report) for name, report in reports.items()}
+        return arrays, meta
+
+    def from_payload(self, arrays, meta) -> CandidatePartition:
+        return CandidatePartition(
+            **{name: _report_from(arrays[name], meta[name]) for name in self._FIELDS}
+        )
+
+
+def resolve_cache_dir() -> Optional[Path]:
+    """The on-disk cache root, or ``None`` when disabled.
+
+    ``$REPRO_CACHE_DIR`` overrides the default ``~/.cache/repro``; an
+    empty ``$REPRO_CACHE_DIR`` disables the disk layer.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env is not None:
+        return Path(env) if env.strip() else None
+    return Path.home() / ".cache" / "repro"
+
+
+class ArtifactStore:
+    """Bounded in-memory LRU over an optional on-disk artifact layer."""
+
+    def __init__(
+        self,
+        max_memory_items: int = 64,
+        disk_dir: Optional[Path] = None,
+        enable_disk: bool = True,
+    ) -> None:
+        if max_memory_items < 1:
+            raise ValueError("max_memory_items must be >= 1")
+        self.max_memory_items = max_memory_items
+        self.disk_dir = Path(disk_dir) if (enable_disk and disk_dir) else None
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+
+    # -- keys -------------------------------------------------------------
+
+    @staticmethod
+    def _base_name(key: str) -> str:
+        return key.replace("/", ".")
+
+    def _disk_base(self, key: str) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / self._base_name(key)
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, key: str, codec: Optional[Codec] = None) -> Any:
+        """The cached value for ``key``, or :data:`MISS`."""
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.memory_hits += 1
+            return self._memory[key]
+        base = self._disk_base(key)
+        if codec is not None and base is not None:
+            try:
+                value = codec.load(base)
+            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+                pass  # absent, corrupt, or version-skewed: rebuild
+            else:
+                self.disk_hits += 1
+                self._remember(key, value)
+                return value
+        self.misses += 1
+        return MISS
+
+    def put(self, key: str, value: Any, codec: Optional[Codec] = None) -> None:
+        """Cache ``value``; persist to disk when a codec is given."""
+        self.puts += 1
+        self._remember(key, value)
+        base = self._disk_base(key)
+        if codec is not None and base is not None:
+            try:
+                base.parent.mkdir(parents=True, exist_ok=True)
+                codec.dump(value, base)
+            except OSError:
+                pass  # a read-only cache dir degrades to memory-only
+
+    def _remember(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_items:
+            self._memory.popitem(last=False)
+            self.evictions += 1
+
+    # -- maintenance -------------------------------------------------------
+
+    def _disk_files(self):
+        if self.disk_dir is None or not self.disk_dir.is_dir():
+            return []
+        return [
+            path
+            for path in self.disk_dir.iterdir()
+            if path.suffix in (".npz", ".json")
+        ]
+
+    def clear(self, memory: bool = True, disk: bool = True) -> int:
+        """Drop cached artifacts; returns the number of disk files removed."""
+        if memory:
+            self._memory.clear()
+        removed = 0
+        if disk:
+            for path in self._disk_files():
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def info(self) -> dict:
+        """A snapshot of cache contents and hit counters."""
+        files = self._disk_files()
+        disk_bytes = 0
+        for path in files:
+            try:
+                disk_bytes += path.stat().st_size
+            except OSError:
+                pass
+        return {
+            "memory_entries": len(self._memory),
+            "max_memory_items": self.max_memory_items,
+            "disk_dir": str(self.disk_dir) if self.disk_dir else None,
+            "disk_files": len(files),
+            "disk_bytes": disk_bytes,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+        }
+
+
+_DEFAULT_STORE: Optional[ArtifactStore] = None
+
+
+def default_store() -> ArtifactStore:
+    """The process-wide store (created lazily from the environment)."""
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is None:
+        _DEFAULT_STORE = ArtifactStore(disk_dir=resolve_cache_dir())
+    return _DEFAULT_STORE
+
+
+def set_default_store(store: ArtifactStore) -> None:
+    global _DEFAULT_STORE
+    _DEFAULT_STORE = store
+
+
+def reset_default_store() -> None:
+    """Drop the singleton so the next use re-reads the environment."""
+    global _DEFAULT_STORE
+    _DEFAULT_STORE = None

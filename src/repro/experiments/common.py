@@ -2,36 +2,45 @@
 default scenario cache.
 
 Every experiment accepts an explicit :class:`~repro.core.scenario.PaperScenario`,
-but building one takes tens of seconds, so callers running several
-experiments (the benchmark suite, the CLI) share one via
-:func:`default_scenario`.
+and the heavy artifacts behind one live in the engine's
+fingerprint-keyed store (:mod:`repro.engine`), so
+:func:`default_scenario` only has to hand out one facade per distinct
+configuration.  Unlike the old seed-keyed module cache, two configs
+sharing a seed but differing in any field get independent entries — no
+eviction, no thrash, no collision.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.scenario import PaperScenario, ScenarioConfig
 
 __all__ = ["render_table", "default_scenario", "clear_scenario_cache"]
 
-_SCENARIO_CACHE: Dict[int, PaperScenario] = {}
+#: One facade per config fingerprint; stage artifacts live in the store.
+_SCENARIOS: Dict[str, PaperScenario] = {}
 
 
 def default_scenario(config: Optional[ScenarioConfig] = None) -> PaperScenario:
-    """Build (or reuse) the scenario for a config, keyed by its seed."""
+    """The shared scenario for a config, keyed by its full fingerprint."""
     config = config or ScenarioConfig()
-    cached = _SCENARIO_CACHE.get(config.seed)
-    if cached is not None and cached.config == config:
-        return cached
-    scenario = PaperScenario(config)
-    _SCENARIO_CACHE[config.seed] = scenario
+    key = config.fingerprint()
+    scenario = _SCENARIOS.get(key)
+    if scenario is None:
+        scenario = PaperScenario(config)
+        _SCENARIOS[key] = scenario
     return scenario
 
 
 def clear_scenario_cache() -> None:
-    """Drop cached scenarios (used by tests)."""
-    _SCENARIO_CACHE.clear()
+    """Drop the shared facades (used by tests).
+
+    Stage artifacts in the engine store are untouched; reset or clear
+    the store itself (:func:`repro.engine.reset_default_store`) to force
+    real rebuilds.
+    """
+    _SCENARIOS.clear()
 
 
 def render_table(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) -> str:

@@ -99,6 +99,7 @@ def run(
     rng: Optional[np.random.Generator] = None,
     subsets: int = 200,
     naive_subsets: int = 20,
+    workers: Optional[int] = None,
 ) -> Figure2Result:
     """Regenerate Figure 2 from a built scenario."""
     rng = rng if rng is not None else np.random.default_rng(scenario.config.seed)
@@ -109,6 +110,7 @@ def run(
         subsets=subsets,
         include_naive=True,
         naive_subsets=naive_subsets,
+        workers=workers,
     )
     return Figure2Result(density=density)
 

@@ -66,11 +66,15 @@ def run(
     scenario: PaperScenario,
     rng: Optional[np.random.Generator] = None,
     subsets: int = 200,
+    workers: Optional[int] = None,
 ) -> Figure3Result:
     """Regenerate the four panels of Figure 3."""
     rng = rng if rng is not None else np.random.default_rng(scenario.config.seed)
     panels = {
-        tag: density_test(scenario.report(tag), scenario.control, rng, subsets=subsets)
+        tag: density_test(
+            scenario.report(tag), scenario.control, rng,
+            subsets=subsets, workers=workers,
+        )
         for tag in REPORT_TAGS
     }
     return Figure3Result(panels=panels)

@@ -78,13 +78,14 @@ def run(
     scenario: PaperScenario,
     rng: Optional[np.random.Generator] = None,
     subsets: int = 200,
+    workers: Optional[int] = None,
 ) -> Figure4Result:
     """Regenerate the four panels of Figure 4."""
     rng = rng if rng is not None else np.random.default_rng(scenario.config.seed)
     panels = {
         tag: prediction_test(
             scenario.bot_test, scenario.report(tag), scenario.control, rng,
-            subsets=subsets,
+            subsets=subsets, workers=workers,
         )
         for tag in TARGET_TAGS
     }

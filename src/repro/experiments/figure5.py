@@ -37,6 +37,7 @@ def run(
     scenario: PaperScenario,
     rng: Optional[np.random.Generator] = None,
     subsets: int = 200,
+    workers: Optional[int] = None,
 ) -> Figure5Result:
     """Regenerate Figure 5."""
     rng = rng if rng is not None else np.random.default_rng(scenario.config.seed)
@@ -46,6 +47,7 @@ def run(
         scenario.control,
         rng,
         subsets=subsets,
+        workers=workers,
     )
     return Figure5Result(prediction=prediction)
 

@@ -6,15 +6,40 @@ must treat it as read-only.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.scenario import PaperScenario, ScenarioConfig
+from repro.core.stages import reset_scenario_engine
+from repro.engine.store import reset_default_store
 from repro.flows.generator import TrafficGenerator
 from repro.sim.botnet import BotnetConfig, BotnetSimulation
 from repro.sim.internet import InternetConfig, SyntheticInternet
 from repro.sim.phishing import PhishingConfig, PhishingSimulation
 from repro.sim.timeline import PAPER_WINDOWS
+
+
+@pytest.fixture(scope="session", autouse=True)
+def artifact_cache(tmp_path_factory):
+    """Isolate the on-disk artifact cache for the whole test session.
+
+    Keeps tests hermetic (no reads from a developer's warm
+    ``~/.cache/repro``) and keeps test artifacts out of it.
+    """
+    path = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    reset_default_store()
+    reset_scenario_engine()
+    yield path
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+    reset_default_store()
+    reset_scenario_engine()
 
 
 @pytest.fixture
@@ -23,7 +48,7 @@ def rng():
 
 
 @pytest.fixture(scope="session")
-def small_scenario():
+def small_scenario(artifact_cache):
     """The fast end-to-end scenario; treat as read-only."""
     return PaperScenario(ScenarioConfig.small())
 

@@ -19,6 +19,11 @@ class TestParser:
         assert args.small is False
         assert args.subsets == 200
         assert args.seed is None
+        assert args.workers is None
+
+    def test_workers_flag(self):
+        args = build_parser().parse_args(["figure4", "--workers", "4"])
+        assert args.workers == 4
 
 
 class TestMain:
@@ -101,6 +106,46 @@ class TestValidateCommand:
         out = capsys.readouterr().out
         assert "placement_tracks_uncleanliness" in out
         assert "False" not in out
+
+
+class TestCacheCommand:
+    @pytest.fixture
+    def private_store(self, tmp_path, monkeypatch):
+        """Run cache commands against a throwaway store/dir."""
+        from repro.engine import reset_default_store
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        reset_default_store()
+        yield tmp_path / "cache"
+        reset_default_store()
+
+    def test_cache_info_default(self, private_store, capsys):
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Staged artifact cache" in out
+        assert str(private_store) in out
+
+    def test_cache_info_explicit(self, private_store, capsys):
+        assert main(["cache", "info"]) == 0
+        assert "disk files" in capsys.readouterr().out
+
+    def test_cache_clear(self, private_store, capsys):
+        from repro.engine import ReportMappingCodec, default_store
+        from repro.core.report import Report
+
+        default_store().put(
+            "fp/reports",
+            {"bot": Report.from_addresses("bot", ["8.8.8.8"])},
+            ReportMappingCodec(),
+        )
+        assert main(["cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared artifact cache (2 disk file(s) removed)" in out
+        assert default_store().info()["disk_files"] == 0
+
+    def test_cache_unknown_action(self, private_store, capsys):
+        assert main(["cache", "shrink"]) == 2
+        assert "unknown cache action" in capsys.readouterr().err
 
 
 class TestProfileCommand:

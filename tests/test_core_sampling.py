@@ -1,10 +1,21 @@
 """Unit tests for repro.core.sampling."""
 
+from functools import partial
+
 import numpy as np
 import pytest
 
+from repro.core.density import _block_count_vector
+from repro.core.prediction import _intersection_vector
 from repro.core.report import Report
-from repro.core.sampling import empirical_subsets, monte_carlo, naive_sample
+from repro.core.sampling import (
+    empirical_subsets,
+    monte_carlo,
+    naive_sample,
+    resolve_workers,
+    trial_seed,
+)
+from repro.core import cidr as rcidr
 from repro.ipspace.addr import first_octet
 from repro.ipspace.iana import allocated_octets
 from repro.ipspace.reserved import reserved_mask
@@ -77,3 +88,144 @@ class TestMonteCarlo:
         values = monte_carlo(control, 10, 25, rng, statistic=len)
         assert values.shape == (25,)
         assert (values == 10).all()
+
+    def test_deterministic_in_rng_state(self):
+        control = Report.from_addresses(
+            "control", [f"60.{i}.0.{k}" for i in range(4) for k in range(1, 200)]
+        )
+        a = monte_carlo(control, 30, 10, np.random.default_rng(5), len)
+        b = monte_carlo(control, 30, 10, np.random.default_rng(5), len)
+        assert np.array_equal(a, b)
+
+    def test_invalid_count(self, rng):
+        control = Report.from_addresses("control", ["60.0.0.1", "60.0.0.2"])
+        with pytest.raises(ValueError):
+            monte_carlo(control, 1, 0, rng, statistic=len)
+
+
+@pytest.fixture(scope="module")
+def wide_control():
+    """A control report spread across many /16s (Monte-Carlo fodder)."""
+    rng = np.random.default_rng(0xFEED)
+    addresses = (
+        (rng.choice(np.arange(60, 120, dtype=np.uint32), size=4000) << np.uint32(24))
+        | rng.integers(0, 1 << 24, size=4000, dtype=np.uint32)
+    )
+    return Report.from_addresses("control", np.unique(addresses))
+
+
+class TestMonteCarloParallel:
+    """workers>1 must be bit-identical to serial (spawned seed streams)."""
+
+    def test_parallel_matches_serial_scalar(self, wide_control):
+        serial = monte_carlo(
+            wide_control, 50, 24, np.random.default_rng(7), len, workers=1
+        )
+        parallel = monte_carlo(
+            wide_control, 50, 24, np.random.default_rng(7), len, workers=4
+        )
+        assert np.array_equal(serial, parallel)
+
+    def test_parallel_matches_serial_density_statistic(self, wide_control):
+        """The Figure 2/3 block-count statistic across processes."""
+        statistic = partial(
+            _block_count_vector, prefixes=(16, 20, 24, 28, 32)
+        )
+        serial = monte_carlo(
+            wide_control, 80, 20, np.random.default_rng(11), statistic, workers=1
+        )
+        parallel = monte_carlo(
+            wide_control, 80, 20, np.random.default_rng(11), statistic, workers=4
+        )
+        assert serial.shape == (20, 5)
+        assert np.array_equal(serial, parallel)
+
+    def test_parallel_matches_serial_prediction_statistic(self, wide_control):
+        """The §5/Table 2 intersection statistic across processes."""
+        present = Report.from_addresses(
+            "present", wide_control.addresses[::3]
+        )
+        prefixes = (16, 20, 24)
+        statistic = partial(
+            _intersection_vector,
+            present_blocks=tuple(rcidr.cidr_set(present, n) for n in prefixes),
+            prefixes=prefixes,
+        )
+        serial = monte_carlo(
+            wide_control, 60, 20, np.random.default_rng(13), statistic, workers=1
+        )
+        parallel = monte_carlo(
+            wide_control, 60, 20, np.random.default_rng(13), statistic, workers=3
+        )
+        assert np.array_equal(serial, parallel)
+
+    def test_chunk_size_does_not_change_results(self, wide_control):
+        serial = monte_carlo(
+            wide_control, 40, 17, np.random.default_rng(3), len, workers=1
+        )
+        parallel = monte_carlo(
+            wide_control, 40, 17, np.random.default_rng(3), len,
+            workers=2, chunk_size=5,
+        )
+        assert np.array_equal(serial, parallel)
+
+
+class TestWorkerResolution:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers() == 3
+        assert resolve_workers(2) == 2  # explicit argument wins
+
+    def test_invalid_values(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError):
+            resolve_workers()
+
+
+class TestSpawnedSeedSequences:
+    def test_trial_seed_matches_spawn(self):
+        root = np.random.SeedSequence(123)
+        children = root.spawn(5)
+        for index, child in enumerate(children):
+            rebuilt = trial_seed(root.entropy, root.spawn_key, index)
+            a = np.random.default_rng(child).integers(0, 1 << 30, size=8)
+            b = np.random.default_rng(rebuilt).integers(0, 1 << 30, size=8)
+            assert np.array_equal(a, b)
+
+    def test_naive_sample_reproducible_under_spawned_seeds(self):
+        children = np.random.SeedSequence(5).spawn(2)
+        first = naive_sample(300, np.random.default_rng(children[0]))
+        again = naive_sample(300, np.random.default_rng(children[0]))
+        sibling = naive_sample(300, np.random.default_rng(children[1]))
+        assert np.array_equal(first.addresses, again.addresses)
+        assert not np.array_equal(first.addresses, sibling.addresses)
+
+    def test_empirical_subsets_reproducible_under_spawned_seeds(self, wide_control):
+        children = np.random.SeedSequence(6).spawn(2)
+        first = [
+            s.addresses
+            for s in empirical_subsets(
+                wide_control, 40, 3, np.random.default_rng(children[0])
+            )
+        ]
+        again = [
+            s.addresses
+            for s in empirical_subsets(
+                wide_control, 40, 3, np.random.default_rng(children[0])
+            )
+        ]
+        sibling = [
+            s.addresses
+            for s in empirical_subsets(
+                wide_control, 40, 3, np.random.default_rng(children[1])
+            )
+        ]
+        for a, b in zip(first, again):
+            assert np.array_equal(a, b)
+        assert not np.array_equal(first[0], sibling[0])
