@@ -1,0 +1,133 @@
+"""Microbenchmarks for the columnar hot-path kernels.
+
+Times the two paths the PR-2 vectorization targets — traffic-stage cold
+build and TRW detection — plus the scan detector, the DNSBL query-log
+analytics and the raw day-sampling kernel.  Unlike the table/figure
+benchmarks these run the hot paths directly (no artifact engine), so a
+cold build really is cold.
+
+Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``full`` (default) — the reproduction-scale scenario (~1.4M flows);
+* ``small`` — the ~100x-smaller test scenario, for CI smoke runs.
+
+There are NO timing assertions here (CI runs this with
+``--benchmark-disable`` as a smoke test); the numeric record lives in
+``BENCH_kernels.json`` via ``snapshot_kernels.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.core.blocklist import Blocklist
+from repro.core.report import Report
+from repro.core.scenario import ScenarioConfig
+from repro.detect.dnsbl import DNSBLServer
+from repro.detect.scan import ScanDetector
+from repro.detect.trw import TRWDetector
+from repro.flows.generator import TrafficGenerator
+from repro.flows.kernels import sample_day_segments
+from repro.sim.botnet import BotnetSimulation
+from repro.sim.internet import SyntheticInternet
+from repro.sim.timeline import PAPER_WINDOWS
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "full")
+
+
+def _scenario_config() -> ScenarioConfig:
+    return ScenarioConfig.small() if SCALE == "small" else ScenarioConfig()
+
+
+@pytest.fixture(scope="module")
+def actors():
+    """The internet + botnet substrate (not part of any timed region)."""
+    config = _scenario_config()
+    seeds = np.random.SeedSequence(config.seed).spawn(8)
+    internet = SyntheticInternet(config.internet, np.random.default_rng(seeds[0]))
+    botnet = BotnetSimulation(internet, config.botnet, np.random.default_rng(seeds[1]))
+    return config, internet, botnet
+
+
+@pytest.fixture(scope="module")
+def border(actors):
+    """One October border capture, built once for the detector benches."""
+    config, internet, botnet = actors
+    generator = TrafficGenerator(internet, botnet, config.traffic)
+    return generator.generate(
+        PAPER_WINDOWS.OCTOBER,
+        np.random.default_rng(np.random.SeedSequence(config.seed).spawn(8)[3]),
+    )
+
+
+def test_traffic_cold_build(benchmark, actors):
+    config, internet, botnet = actors
+    generator = TrafficGenerator(internet, botnet, config.traffic)
+
+    def build():
+        return generator.generate(
+            PAPER_WINDOWS.OCTOBER,
+            np.random.default_rng(np.random.SeedSequence(config.seed).spawn(8)[3]),
+        )
+
+    traffic = run_once(benchmark, build)
+    assert len(traffic.flows) > 0
+    assert traffic.populations["fast_scanners"].size > 0
+
+
+def test_trw_walk(benchmark, border):
+    states = run_once(benchmark, TRWDetector().walk, border.flows)
+    assert states  # every capture has at least one walked source
+
+
+def test_trw_detect(benchmark, border):
+    detected = run_once(benchmark, TRWDetector().detect, border.flows)
+    assert detected.dtype == np.uint32
+
+
+def test_scan_detect(benchmark, border):
+    detected = run_once(benchmark, ScanDetector().detect, border.flows)
+    assert set(detected.tolist()) >= set(
+        border.ground_truth("fast_scanners").tolist()
+    )
+
+
+def test_dnsbl_query_log_analytics(benchmark, border):
+    """Bulk lookups plus the recon sweep over the resulting query log."""
+    hostile = Report.from_addresses(
+        "hostile", border.ground_truth("slow_scanners")
+    )
+    blocklist = Blocklist()
+    blocklist.add_report(hostile, day=0)
+    server = DNSBLServer(blocklist)
+    rng = np.random.default_rng(2007)
+    subjects = border.flows.unique_sources()
+    queriers = rng.integers(1 << 24, 1 << 28, size=64, dtype=np.uint32)
+
+    def sweep():
+        for querier in queriers:
+            server.query_many(int(querier), subjects, day=5)
+        return server.reconnaissance_queriers(hostile, min_hits=2,
+                                              min_hit_fraction=0.01)
+
+    flagged = run_once(benchmark, sweep)
+    assert len(flagged) == len(queriers)  # every querier hit the bots
+
+
+def test_day_sampling_kernel(benchmark):
+    """The raw segment sampler at window-scale fan-out."""
+    rng = np.random.default_rng(42)
+    events = 200_000 if SCALE != "small" else 5_000
+    lo = rng.integers(0, 7, size=events)
+    hi = lo + rng.integers(0, 14, size=events)
+    counts = np.maximum(1, rng.poisson(3.0, size=events))
+
+    def sample():
+        return sample_day_segments(lo, hi, counts, np.random.default_rng(7))
+
+    owners, days = benchmark(sample)
+    assert owners.size == days.size > 0

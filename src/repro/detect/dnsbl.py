@@ -15,12 +15,15 @@ builds on:
 
 The server wraps a :class:`~repro.core.blocklist.Blocklist` (entries,
 TTLs, decay) and adds the query interface plus the query log that the
-counter-intelligence needs.
+counter-intelligence needs.  The log is stored columnarly and every
+analysis over it (recon detection, load accounting) is a numpy
+aggregation, so feed-scale query volumes never hit a per-entry Python
+loop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -42,12 +45,74 @@ class DNSBLQuery:
     listed: bool
 
 
+class _QueryLog:
+    """Columnar accumulator of logged lookups.
+
+    Appends are cheap Python-list extends; analyses materialise numpy
+    columns once.  Indexing and iteration hand back
+    :class:`DNSBLQuery` views so callers keep the record interface.
+    """
+
+    def __init__(self) -> None:
+        self._queriers: List[int] = []
+        self._subjects: List[int] = []
+        self._days: List[int] = []
+        self._listed: List[bool] = []
+
+    def append(self, querier: int, subject: int, day: int, listed: bool) -> None:
+        self._queriers.append(querier)
+        self._subjects.append(subject)
+        self._days.append(day)
+        self._listed.append(listed)
+
+    def extend(
+        self, querier: int, subjects: np.ndarray, day: int, listed: np.ndarray
+    ) -> None:
+        count = int(subjects.size)
+        self._queriers.extend([querier] * count)
+        self._subjects.extend(subjects.tolist())
+        self._days.extend([day] * count)
+        self._listed.extend(listed.tolist())
+
+    # -- columnar views ----------------------------------------------------
+
+    def queriers(self) -> np.ndarray:
+        return np.asarray(self._queriers, dtype=np.int64)
+
+    def subjects(self) -> np.ndarray:
+        return np.asarray(self._subjects, dtype=np.int64)
+
+    def days(self) -> np.ndarray:
+        return np.asarray(self._days, dtype=np.int64)
+
+    def listed(self) -> np.ndarray:
+        return np.asarray(self._listed, dtype=bool)
+
+    # -- record views ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._days)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        return DNSBLQuery(
+            querier=self._queriers[index],
+            subject=self._subjects[index],
+            day=self._days[index],
+            listed=self._listed[index],
+        )
+
+    def __iter__(self):
+        return (self[i] for i in range(len(self)))
+
+
 class DNSBLServer:
     """A queryable blocklist service with a query log."""
 
     def __init__(self, blocklist: Blocklist) -> None:
         self.blocklist = blocklist
-        self.query_log: List[DNSBLQuery] = []
+        self.query_log = _QueryLog()
 
     # -- the DNSBL protocol --------------------------------------------------
 
@@ -55,23 +120,32 @@ class DNSBLServer:
         """Answer one lookup and record it."""
         listed = self.blocklist.is_blocked(subject, day)
         self.query_log.append(
-            DNSBLQuery(
-                querier=as_int(querier),
-                subject=as_int(subject),
-                day=day,
-                listed=listed,
-            )
+            querier=as_int(querier),
+            subject=as_int(subject),
+            day=day,
+            listed=listed,
         )
         return listed
 
     def query_many(
         self, querier: AddressLike, subjects, day: int
     ) -> np.ndarray:
-        """Bulk lookup; returns the per-subject listed flags."""
-        return np.asarray(
-            [self.query(querier, subject, day) for subject in subjects],
-            dtype=bool,
-        )
+        """Bulk lookup; returns the per-subject listed flags.
+
+        The whole batch is answered with one vectorised mask against the
+        active blocklist entries and logged with one columnar extend.
+        """
+        if isinstance(subjects, np.ndarray) and np.issubdtype(
+            subjects.dtype, np.integer
+        ):
+            subject_array = subjects.astype(np.uint32)
+        else:
+            subject_array = np.asarray(
+                [as_int(subject) for subject in subjects], dtype=np.uint32
+            )
+        listed = self.blocklist.blocked_mask(subject_array, day)
+        self.query_log.extend(as_int(querier), subject_array, day, listed)
+        return listed
 
     # -- Jung & Sit style evaluation -----------------------------------------
 
@@ -106,25 +180,33 @@ class DNSBLServer:
         if not 0 < min_hit_fraction <= 1:
             raise ValueError("min_hit_fraction must be in (0, 1]")
 
-        subjects_by_querier: Dict[int, set] = {}
-        for entry in self.query_log:
-            if before_day is not None and entry.day >= before_day:
-                continue
-            subjects_by_querier.setdefault(entry.querier, set()).add(entry.subject)
+        queriers = self.query_log.queriers()
+        subjects = self.query_log.subjects()
+        if before_day is not None:
+            in_scope = self.query_log.days() < before_day
+            queriers = queriers[in_scope]
+            subjects = subjects[in_scope]
+        if queriers.size == 0:
+            return []
 
-        flagged = []
-        for querier, subjects in subjects_by_querier.items():
-            hits = sum(1 for subject in subjects if subject in later_hostile)
-            if hits >= min_hits and hits >= min_hit_fraction * len(subjects):
-                flagged.append(querier)
-        return sorted(flagged)
+        # Distinct (querier, subject) pairs, grouped by querier.
+        pairs = np.unique((queriers << np.int64(32)) | subjects)
+        pair_querier = pairs >> np.int64(32)
+        pair_subject = (pairs & np.int64(0xFFFFFFFF)).astype(np.uint32)
+        hit = np.isin(pair_subject, later_hostile.addresses)
+        unique_queriers, starts, totals = np.unique(
+            pair_querier, return_index=True, return_counts=True
+        )
+        hits = np.add.reduceat(hit.astype(np.int64), starts)
+        flagged = unique_queriers[
+            (hits >= min_hits) & (hits >= min_hit_fraction * totals)
+        ]
+        return [int(querier) for querier in flagged]
 
     def query_volume_by_day(self) -> Dict[int, int]:
         """Lookups per day (the server operator's load view)."""
-        volume: Dict[int, int] = {}
-        for entry in self.query_log:
-            volume[entry.day] = volume.get(entry.day, 0) + 1
-        return volume
+        days, counts = np.unique(self.query_log.days(), return_counts=True)
+        return {int(day): int(count) for day, count in zip(days, counts)}
 
     def __repr__(self) -> str:
         return (

@@ -23,16 +23,26 @@ is updated per outcome and compared with thresholds
 positive rate ``alpha`` and false negative rate ``beta``.  Crossing
 :math:`\\eta_1` declares the source a scanner; crossing :math:`\\eta_0`
 declares it benign (and, as in the paper's usage, stops the walk).
+
+Although the test is *defined* sequentially, it is evaluated here as an
+array kernel: first contacts are deduplicated with ``np.unique``,
+outcomes are sorted by (source, time), each source's log-likelihood
+trajectory is a grouped cumulative sum, and the verdict is read off at
+the segment's first threshold crossing — exactly where the sequential
+walk would have frozen it.  :meth:`TRWDetector.walk_reference` retains
+the straightforward per-outcome loop as the semantic reference; the
+property tests assert the two agree.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
+from repro.flows.kernels import grouped_cumsum, segment_first_true, segment_positions
 from repro.flows.log import FlowLog
 from repro.flows.record import Protocol, TCPFlags
 
@@ -98,12 +108,105 @@ class TRWDetector:
         config.validate()
         self.config = config
 
-    def _outcomes(self, flows: FlowLog) -> Iterable[Tuple[int, bool]]:
-        """Yield (source, success) first-contact outcomes in time order.
+    def _first_contacts(self, flows: FlowLog) -> Tuple[np.ndarray, np.ndarray]:
+        """First-contact outcomes in time order, as columnar arrays.
 
         Only the first flow to each (source, destination) pair counts —
-        TRW is defined over first-contact connection attempts.
+        TRW is defined over first-contact connection attempts.  Returns
+        ``(sources, successes)`` ordered by start time (ties broken by
+        log position, matching the sequential reference).
         """
+        tcp = flows.protocol == Protocol.TCP
+        start_time = flows.start_time[tcp]
+        if start_time.size == 0:
+            return (
+                np.asarray([], dtype=np.uint32),
+                np.asarray([], dtype=bool),
+            )
+        order = np.argsort(start_time, kind="stable")
+        src = flows.src_addr[tcp][order]
+        dst = flows.dst_addr[tcp][order]
+        # np.unique(return_index) keeps the EARLIEST position per pair,
+        # which in time-sorted order is exactly the first contact.
+        key = (src.astype(np.uint64) << np.uint64(32)) | dst.astype(np.uint64)
+        _, first = np.unique(key, return_index=True)
+        first.sort()  # back to chronological order
+        acked = (flows.tcp_flags[tcp][order][first] & TCPFlags.ACK) != 0
+        return src[first], acked
+
+    def _walk_kernel(
+        self, flows: FlowLog
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The array form of the sequential test.
+
+        Returns ``(sources, log_ratio, outcomes, verdict_code)``, one row
+        per unique source (codes: 0 pending, 1 scanner, 2 benign).  The
+        per-outcome log-likelihood trajectory of each source is an exact
+        grouped cumulative count of failures (an integer kernel) scaled
+        by the two step sizes; the verdict and state are read off at the
+        first threshold crossing, so everything after a source's crossing
+        is ignored — the walk-freezing semantics of the loop.
+        """
+        cfg = self.config
+        upper = math.log(cfg.upper_threshold)
+        lower = math.log(cfg.lower_threshold)
+
+        contact_src, contact_success = self._first_contacts(flows)
+        if contact_src.size == 0:
+            empty = np.asarray([], dtype=np.int64)
+            return contact_src, empty.astype(np.float64), empty, empty
+
+        # Group outcomes by source, preserving time order within each.
+        by_source = np.argsort(contact_src, kind="stable")
+        success = contact_success[by_source]
+        sources, starts, counts = np.unique(
+            contact_src[by_source], return_index=True, return_counts=True
+        )
+
+        # Trajectory after k outcomes = failures*f_step + successes*s_step.
+        # The grouped failure count is integer-exact, so each source's
+        # trajectory is computed independently of its neighbours.
+        failures = grouped_cumsum((~success).astype(np.int64), starts, counts)
+        seen = segment_positions(counts) + 1
+        trajectory = (
+            failures * cfg.failure_step + (seen - failures) * cfg.success_step
+        )
+
+        crossed = (trajectory >= upper) | (trajectory <= lower)
+        first_cross = segment_first_true(crossed, starts, counts)  # counts if none
+        decided = first_cross < counts
+        stop = starts + np.where(decided, first_cross, counts - 1)
+        log_ratio = trajectory[stop]
+        outcomes = np.where(decided, first_cross + 1, counts)
+        verdict_code = np.where(
+            decided, np.where(log_ratio >= upper, 1, 2), 0
+        ).astype(np.int64)
+        return sources, log_ratio, outcomes, verdict_code
+
+    _VERDICTS = ("pending", "scanner", "benign")
+
+    def walk(self, flows: FlowLog) -> Dict[int, TRWState]:
+        """Run the walk for every source; returns final per-source state."""
+        sources, log_ratio, outcomes, verdict_code = self._walk_kernel(flows)
+        verdicts = self._VERDICTS
+        return {
+            source: TRWState(log_ratio=ratio, outcomes=count, verdict=verdicts[code])
+            for source, ratio, count, code in zip(
+                sources.tolist(), log_ratio.tolist(),
+                outcomes.tolist(), verdict_code.tolist(),
+            )
+        }
+
+    def detect(self, flows: FlowLog) -> np.ndarray:
+        """Sorted unique source addresses declared scanners."""
+        sources, _, _, verdict_code = self._walk_kernel(flows)
+        return sources[verdict_code == 1].astype(np.uint32)
+
+    # -- sequential reference ---------------------------------------------
+
+    def _outcomes(self, flows: FlowLog) -> Iterable[Tuple[int, bool]]:
+        """Yield (source, success) first-contact outcomes in time order
+        (the per-flow loop the kernel replaces; kept for verification)."""
         tcp = flows.select(flows.protocol == Protocol.TCP)
         order = np.argsort(tcp.start_time, kind="stable")
         seen: set = set()
@@ -117,8 +220,13 @@ class TRWDetector:
             seen.add(key)
             yield int(src[i]), bool(acked[i])
 
-    def walk(self, flows: FlowLog) -> Dict[int, TRWState]:
-        """Run the walk for every source; returns final per-source state."""
+    def walk_reference(self, flows: FlowLog) -> Dict[int, TRWState]:
+        """The original per-outcome sequential walk.
+
+        This is the semantic specification the vectorized
+        :meth:`walk` must match (the property tests compare them); it is
+        interpreter-bound and should not be used on large logs.
+        """
         cfg = self.config
         upper = math.log(cfg.upper_threshold)
         lower = math.log(cfg.lower_threshold)
@@ -137,9 +245,3 @@ class TRWDetector:
             elif state.log_ratio <= lower:
                 state.verdict = "benign"
         return states
-
-    def detect(self, flows: FlowLog) -> np.ndarray:
-        """Sorted unique source addresses declared scanners."""
-        states = self.walk(flows)
-        scanners = [src for src, st in states.items() if st.verdict == "scanner"]
-        return np.unique(np.asarray(scanners, dtype=np.uint32))

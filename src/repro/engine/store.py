@@ -42,8 +42,11 @@ __all__ = [
 #: be a legitimate artifact value).
 MISS = object()
 
-#: Bump when the on-disk payload layout changes.
-STORE_FORMAT_VERSION = 1
+#: Bump when the on-disk payload layout changes, or when artifact VALUES
+#: change for the same fingerprint (e.g. the columnar traffic kernels
+#: reordered RNG draws, so traffic-derived stages differ per seed from
+#: the loop-based generator's: version 2 makes those stale entries miss).
+STORE_FORMAT_VERSION = 2
 
 
 def _sidecar(base: Path) -> Path:

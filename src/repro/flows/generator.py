@@ -32,8 +32,12 @@ design: a bot sprays the entire Internet, so one vantage — even a /8 —
 sees only a small slice of the world's scanners and spammers in any two
 weeks.  Quiet background probing, in contrast, is pervasive.
 
-Flows are generated as numpy column chunks, one batch per actor, so
-two-week windows with a million flows stay fast.
+Flows are generated as numpy column chunks, one batch per *population*
+(not per actor): day sampling, per-day intensities and per-flow fields
+are all drawn as flat arrays over every event at once, expanded with the
+segment kernels of :mod:`repro.flows.kernels`, so two-week windows with
+a million flows cost a handful of array operations rather than one
+Python iteration per bot.
 """
 
 from __future__ import annotations
@@ -43,7 +47,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.flows.log import FlowLog
+from repro.flows.kernels import sample_day_segments
+from repro.flows.log import COLUMN_DTYPES, FlowLog
 from repro.flows.record import Protocol, TCPFlags
 from repro.sim.botnet import BotnetSimulation
 from repro.sim.internet import SyntheticInternet
@@ -198,10 +203,17 @@ class _Chunks:
     def to_log(self) -> FlowLog:
         merged = {}
         for name, chunks in self.parts.items():
+            # Coerce every chunk to the FlowLog schema dtype up front: an
+            # all-quiet window would otherwise contribute float64
+            # np.asarray([]) columns, and mixed-width chunks would upcast
+            # during concatenation.
+            dtype = COLUMN_DTYPES[name]
             if chunks:
-                merged[name] = np.concatenate(chunks)
+                merged[name] = np.concatenate(
+                    [np.asarray(chunk, dtype=dtype) for chunk in chunks]
+                )
             else:
-                merged[name] = np.asarray([])
+                merged[name] = np.asarray([], dtype=dtype)
         return FlowLog(**merged)
 
 
@@ -296,24 +308,32 @@ class TrafficGenerator:
             "ephemeral": event_idx[ephemeral],
         }
 
-    def _active_days(
+    def _event_days(
         self,
         window: Window,
-        count: int,
+        day_count_mean: float,
         rng: np.random.Generator,
-        event: Optional[int] = None,
-    ) -> np.ndarray:
-        """Sample up to ``count`` distinct action days inside the window,
-        clipped to the bot's compromise interval when ``event`` is given."""
-        lo, hi = window.start_day, window.end_day
-        if event is not None:
-            lo = max(lo, int(self.botnet.start_day[event]))
-            hi = min(hi, int(self.botnet.end_day[event]))
-        days = np.arange(lo, hi + 1)
-        if days.size == 0 or count <= 0:
-            return days[:0]
-        count = min(count, days.size)
-        return rng.choice(days, size=count, replace=False)
+        events: Optional[np.ndarray] = None,
+        count: Optional[int] = None,
+    ) -> tuple:
+        """Batched active-day sampling for a whole population at once.
+
+        Draws each actor's action-day count (Poisson with the given
+        mean, at least 1), intersects the window with the actor's
+        compromise interval when ``events`` is given, and samples that
+        many distinct days per actor in one kernel call.  Returns
+        ``(owners, days)``: flat arrays where ``owners`` indexes into
+        the population (``events`` or ``range(count)``); actors whose
+        window∩interval is empty contribute nothing.
+        """
+        size = events.size if events is not None else int(count)
+        counts = np.maximum(1, rng.poisson(day_count_mean, size=size))
+        lo = np.full(size, window.start_day, dtype=np.int64)
+        hi = np.full(size, window.end_day, dtype=np.int64)
+        if events is not None:
+            lo = np.maximum(lo, self.botnet.start_day[events])
+            hi = np.minimum(hi, self.botnet.end_day[events])
+        return sample_day_segments(lo, hi, counts, rng)
 
     # -- benign traffic ------------------------------------------------------------
 
@@ -333,6 +353,9 @@ class TrafficGenerator:
             todays = [self.internet.sample_hosts(fresh, rng, weights)] if fresh else []
             if reuse:
                 todays.append(rng.choice(previous, size=reuse, replace=False))
+            if not todays:  # an all-quiet capture: no benign audience at all
+                previous = np.asarray([], dtype=np.uint32)
+                continue
             clients = np.unique(np.concatenate(todays))
             all_clients.append(clients)
             previous = clients
@@ -355,6 +378,8 @@ class TrafficGenerator:
                 start_time=start,
                 end_time=start + rng.random(total) * 120,
             )
+        if not all_clients:
+            return np.asarray([], dtype=np.uint32)
         return np.unique(np.concatenate(all_clients))
 
     # -- hostile traffic --------------------------------------------------------------
@@ -368,40 +393,35 @@ class TrafficGenerator:
     ) -> np.ndarray:
         """SYN sweeps: many targets inside one hour (what the detector sees)."""
         cfg = self.config
-        sources: List[int] = []
-        for event in events:
-            days = self._active_days(
-                window, max(1, int(rng.poisson(cfg.scan_days_mean))), rng, event=int(event)
-            )
-            if days.size == 0:
-                continue
-            address = int(self.botnet.address[event])
-            sources.append(address)
-            targets_per_day = np.clip(
-                rng.lognormal(
-                    np.log(cfg.scan_targets_median), cfg.scan_targets_sigma, size=days.size
-                ).astype(np.int64),
-                31,
-                2000,
-            )
-            total = int(targets_per_day.sum())
-            hour_starts = (
-                days * DAY_SECONDS + rng.integers(0, 23, size=days.size) * 3600
-            ).astype(np.float64)
-            start = np.repeat(hour_starts, targets_per_day) + rng.random(total) * 3000
-            chunks.extend(
-                src_addr=np.full(total, address, dtype=np.uint32),
-                dst_addr=self._random_observed_addresses(total, rng),
-                src_port=rng.integers(_EPHEMERAL_LOW, 65536, size=total, dtype=np.uint16),
-                dst_port=np.repeat(rng.choice(_SCAN_PORTS, size=days.size), targets_per_day),
-                protocol=Protocol.TCP,
-                packets=3,
-                octets=156,  # 3 x 52B SYNs: "36 bytes of payload", no ACK
-                tcp_flags=TCPFlags.SYN,
-                start_time=start,
-                end_time=start + 10.0,
-            )
-        return np.unique(np.asarray(sources, dtype=np.uint32))
+        owners, days = self._event_days(window, cfg.scan_days_mean, rng, events=events)
+        if days.size == 0:
+            return np.asarray([], dtype=np.uint32)
+        addresses = self.botnet.address[events[owners]].astype(np.uint32)
+        targets_per_day = np.clip(
+            rng.lognormal(
+                np.log(cfg.scan_targets_median), cfg.scan_targets_sigma, size=days.size
+            ).astype(np.int64),
+            31,
+            2000,
+        )
+        total = int(targets_per_day.sum())
+        hour_starts = (
+            days * DAY_SECONDS + rng.integers(0, 23, size=days.size) * 3600
+        ).astype(np.float64)
+        start = np.repeat(hour_starts, targets_per_day) + rng.random(total) * 3000
+        chunks.extend(
+            src_addr=np.repeat(addresses, targets_per_day),
+            dst_addr=self._random_observed_addresses(total, rng),
+            src_port=rng.integers(_EPHEMERAL_LOW, 65536, size=total, dtype=np.uint16),
+            dst_port=np.repeat(rng.choice(_SCAN_PORTS, size=days.size), targets_per_day),
+            protocol=Protocol.TCP,
+            packets=3,
+            octets=156,  # 3 x 52B SYNs: "36 bytes of payload", no ACK
+            tcp_flags=TCPFlags.SYN,
+            start_time=start,
+            end_time=start + 10.0,
+        )
+        return np.unique(addresses)
 
     def _quiet_probes(
         self,
@@ -422,43 +442,44 @@ class TrafficGenerator:
         otherwise they are service ports hit SYN-only, under 30 targets a
         day (slow scanning).
         """
-        sources: List[int] = []
-        for position, address in enumerate(addresses):
-            event = int(clip_events[position]) if clip_events is not None else None
-            days = self._active_days(
-                window, max(1, int(rng.poisson(days_mean))), rng, event=event
-            )
-            if days.size == 0:
-                continue
-            sources.append(int(address))
-            per_day = np.clip(
-                rng.poisson(targets_mean, size=days.size), 1, 29
-            ).astype(np.int64)
-            total = int(per_day.sum())
-            start = np.repeat(days * DAY_SECONDS, per_day) + rng.random(total) * DAY_SECONDS
-            if ephemeral_ports:
-                dst_port = rng.integers(_EPHEMERAL_LOW, 65536, size=total, dtype=np.uint16)
-                packets = rng.integers(1, 4, size=total, dtype=np.uint32)
-                octets = packets.astype(np.uint64) * 40  # headers only
-                flags = TCPFlags.SYN | TCPFlags.ACK
-            else:
-                dst_port = np.repeat(rng.choice(_SCAN_PORTS, size=days.size), per_day)
-                packets = np.full(total, 3, dtype=np.uint32)
-                octets = np.full(total, 156, dtype=np.uint64)
-                flags = TCPFlags.SYN
-            chunks.extend(
-                src_addr=np.full(total, address, dtype=np.uint32),
-                dst_addr=self._random_observed_addresses(total, rng),
-                src_port=rng.integers(_EPHEMERAL_LOW, 65536, size=total, dtype=np.uint16),
-                dst_port=dst_port,
-                protocol=Protocol.TCP,
-                packets=packets,
-                octets=octets,
-                tcp_flags=flags,
-                start_time=start,
-                end_time=start + 10.0,
-            )
-        return np.unique(np.asarray(sources, dtype=np.uint32))
+        addresses = np.asarray(addresses, dtype=np.uint32)
+        owners, days = self._event_days(
+            window, days_mean, rng, events=clip_events, count=addresses.size
+        )
+        if days.size == 0:
+            return np.asarray([], dtype=np.uint32)
+        sources = addresses[owners]
+        per_day = np.clip(
+            rng.poisson(targets_mean, size=days.size), 1, 29
+        ).astype(np.int64)
+        total = int(per_day.sum())
+        start = (
+            np.repeat(days * DAY_SECONDS, per_day).astype(np.float64)
+            + rng.random(total) * DAY_SECONDS
+        )
+        if ephemeral_ports:
+            dst_port = rng.integers(_EPHEMERAL_LOW, 65536, size=total, dtype=np.uint16)
+            packets = rng.integers(1, 4, size=total, dtype=np.uint32)
+            octets = packets.astype(np.uint64) * 40  # headers only
+            flags = TCPFlags.SYN | TCPFlags.ACK
+        else:
+            dst_port = np.repeat(rng.choice(_SCAN_PORTS, size=days.size), per_day)
+            packets = np.full(total, 3, dtype=np.uint32)
+            octets = np.full(total, 156, dtype=np.uint64)
+            flags = TCPFlags.SYN
+        chunks.extend(
+            src_addr=np.repeat(sources, per_day),
+            dst_addr=self._random_observed_addresses(total, rng),
+            src_port=rng.integers(_EPHEMERAL_LOW, 65536, size=total, dtype=np.uint16),
+            dst_port=dst_port,
+            protocol=Protocol.TCP,
+            packets=packets,
+            octets=octets,
+            tcp_flags=flags,
+            start_time=start,
+            end_time=start + 10.0,
+        )
+        return np.unique(sources)
 
     def _slow_scans(
         self,
@@ -511,33 +532,31 @@ class TrafficGenerator:
         """Spam runs to the observed MX hosts (payload-bearing port 25)."""
         cfg = self.config
         mail = self.mail_server_addresses()
-        sources: List[int] = []
-        for event in events:
-            days = self._active_days(
-                window, max(1, int(rng.poisson(cfg.spam_days_mean))), rng, event=int(event)
-            )
-            if days.size == 0:
-                continue
-            address = int(self.botnet.address[event])
-            sources.append(address)
-            per_day = np.maximum(5, rng.poisson(cfg.spam_flows_mean, size=days.size))
-            total = int(per_day.sum())
-            packets = rng.integers(6, 20, size=total, dtype=np.uint32)
-            payload = rng.integers(400, 4000, size=total, dtype=np.uint64)
-            start = np.repeat(days * DAY_SECONDS, per_day) + rng.random(total) * DAY_SECONDS
-            chunks.extend(
-                src_addr=np.full(total, address, dtype=np.uint32),
-                dst_addr=rng.choice(mail, size=total),
-                src_port=rng.integers(_EPHEMERAL_LOW, 65536, size=total, dtype=np.uint16),
-                dst_port=25,
-                protocol=Protocol.TCP,
-                packets=packets,
-                octets=payload + 40 * packets.astype(np.uint64),
-                tcp_flags=_SESSION_FLAGS,
-                start_time=start,
-                end_time=start + 30.0,
-            )
-        return np.unique(np.asarray(sources, dtype=np.uint32))
+        owners, days = self._event_days(window, cfg.spam_days_mean, rng, events=events)
+        if days.size == 0:
+            return np.asarray([], dtype=np.uint32)
+        sources = self.botnet.address[events[owners]].astype(np.uint32)
+        per_day = np.maximum(5, rng.poisson(cfg.spam_flows_mean, size=days.size))
+        total = int(per_day.sum())
+        packets = rng.integers(6, 20, size=total, dtype=np.uint32)
+        payload = rng.integers(400, 4000, size=total, dtype=np.uint64)
+        start = (
+            np.repeat(days * DAY_SECONDS, per_day).astype(np.float64)
+            + rng.random(total) * DAY_SECONDS
+        )
+        chunks.extend(
+            src_addr=np.repeat(sources, per_day),
+            dst_addr=rng.choice(mail, size=total),
+            src_port=rng.integers(_EPHEMERAL_LOW, 65536, size=total, dtype=np.uint16),
+            dst_port=25,
+            protocol=Protocol.TCP,
+            packets=packets,
+            octets=payload + 40 * packets.astype(np.uint64),
+            tcp_flags=_SESSION_FLAGS,
+            start_time=start,
+            end_time=start + 30.0,
+        )
+        return np.unique(sources)
 
     def sinkhole_addresses(self) -> np.ndarray:
         """Sinkhole address per sinkholed channel (inside the observed /8).
@@ -573,40 +592,41 @@ class TrafficGenerator:
         cfg = self.config
         if not cfg.sinkholed_channels:
             return np.asarray([], dtype=np.uint32)
-        sinkholed = np.isin(
-            self.botnet.channel[event_idx], np.asarray(cfg.sinkholed_channels)
+        channels = np.asarray(cfg.sinkholed_channels, dtype=np.int64)
+        events = event_idx[np.isin(self.botnet.channel[event_idx], channels)]
+        owners, days = self._event_days(window, cfg.cnc_days_mean, rng, events=events)
+        if days.size == 0:
+            return np.asarray([], dtype=np.uint32)
+        sources = self.botnet.address[events[owners]].astype(np.uint32)
+        # Channel -> sinkhole address, looked up per active bot-day.
+        channel_order = np.argsort(channels)
+        positions = channel_order[
+            np.searchsorted(channels[channel_order], self.botnet.channel[events[owners]])
+        ]
+        sinkholes = self.sinkhole_addresses()[positions]
+        per_day = np.maximum(
+            1, rng.poisson(cfg.cnc_contacts_per_day, size=days.size)
         )
-        sources = []
-        for event in event_idx[sinkholed]:
-            days = self._active_days(
-                window, max(1, int(rng.poisson(cfg.cnc_days_mean))), rng,
-                event=int(event),
-            )
-            if days.size == 0:
-                continue
-            address = int(self.botnet.address[event])
-            sources.append(address)
-            sinkhole = self.sinkhole_of_channel(int(self.botnet.channel[event]))
-            per_day = np.maximum(
-                1, rng.poisson(cfg.cnc_contacts_per_day, size=days.size)
-            )
-            total = int(per_day.sum())
-            packets = rng.integers(3, 9, size=total, dtype=np.uint32)
-            payload = rng.integers(80, 900, size=total, dtype=np.uint64)
-            start = np.repeat(days * DAY_SECONDS, per_day) + rng.random(total) * DAY_SECONDS
-            chunks.extend(
-                src_addr=np.full(total, address, dtype=np.uint32),
-                dst_addr=np.full(total, sinkhole, dtype=np.uint32),
-                src_port=rng.integers(_EPHEMERAL_LOW, 65536, size=total, dtype=np.uint16),
-                dst_port=6667,
-                protocol=Protocol.TCP,
-                packets=packets,
-                octets=payload + 40 * packets.astype(np.uint64),
-                tcp_flags=_SESSION_FLAGS,
-                start_time=start,
-                end_time=start + 60.0,
-            )
-        return np.unique(np.asarray(sources, dtype=np.uint32))
+        total = int(per_day.sum())
+        packets = rng.integers(3, 9, size=total, dtype=np.uint32)
+        payload = rng.integers(80, 900, size=total, dtype=np.uint64)
+        start = (
+            np.repeat(days * DAY_SECONDS, per_day).astype(np.float64)
+            + rng.random(total) * DAY_SECONDS
+        )
+        chunks.extend(
+            src_addr=np.repeat(sources, per_day),
+            dst_addr=np.repeat(sinkholes, per_day),
+            src_port=rng.integers(_EPHEMERAL_LOW, 65536, size=total, dtype=np.uint16),
+            dst_port=6667,
+            protocol=Protocol.TCP,
+            packets=packets,
+            octets=payload + 40 * packets.astype(np.uint64),
+            tcp_flags=_SESSION_FLAGS,
+            start_time=start,
+            end_time=start + 60.0,
+        )
+        return np.unique(sources)
 
     def _suspicious(
         self, window: Window, rng: np.random.Generator, chunks: _Chunks

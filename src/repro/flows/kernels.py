@@ -1,0 +1,143 @@
+"""Columnar kernels shared by the traffic generator and the detectors.
+
+The flow-generation and detection hot paths operate on *segments*: a
+flat array carrying many variable-length groups back to back (one group
+per bot event, per source address, per day).  These helpers implement
+the segment primitives those paths need without any per-group Python
+loop:
+
+* :func:`repeat_offsets` / :func:`segment_positions` — the
+  ``np.cumsum``-offset bookkeeping behind every ``np.repeat`` expansion;
+* :func:`sample_day_segments` — draw ``k_i`` *distinct* days uniformly
+  from each event's ``[lo_i, hi_i]`` day range, for all events at once
+  (the batched replacement for per-event
+  ``rng.choice(days, replace=False)``);
+* :func:`grouped_cumsum` — per-segment cumulative sums over a
+  segment-sorted array (exact for integer inputs);
+* :func:`segment_first_true` — each segment's first ``True`` position,
+  which is how the TRW detector finds every source's first threshold
+  crossing.
+
+All kernels are deterministic given the RNG: each draws a fixed number
+of variates that depends only on the input shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "repeat_offsets",
+    "segment_ids",
+    "segment_positions",
+    "sample_day_segments",
+    "grouped_cumsum",
+    "segment_first_true",
+]
+
+
+def repeat_offsets(counts: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sums of ``counts``: element ``i`` is where segment
+    ``i`` starts in the flattened array (length ``n + 1``; the last entry
+    is the total)."""
+    counts = np.asarray(counts, dtype=np.int64)
+    offsets = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets
+
+
+def segment_ids(counts: np.ndarray) -> np.ndarray:
+    """Owner index of every element of the flattened segments
+    (``[0, 0, 1, 1, 1, ...]`` for counts ``[2, 3, ...]``)."""
+    counts = np.asarray(counts, dtype=np.int64)
+    return np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+
+
+def segment_positions(counts: np.ndarray) -> np.ndarray:
+    """Position of every element *within its own segment*
+    (``[0, 1, 0, 1, 2, ...]`` for counts ``[2, 3, ...]``)."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    starts = repeat_offsets(counts)[:-1]
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+
+
+def sample_day_segments(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    counts: np.ndarray,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample distinct days from many inclusive ranges at once.
+
+    For every event ``i`` with day range ``[lo_i, hi_i]`` (empty when
+    ``hi_i < lo_i``), draws ``min(counts_i, hi_i - lo_i + 1)`` *distinct*
+    days uniformly without replacement.  Returns ``(owners, days)``
+    flat arrays: ``days[j]`` is one sampled day belonging to event
+    ``owners[j]``; events whose range is empty (or whose count is zero)
+    simply contribute nothing.
+
+    This is the batched form of the per-event
+    ``rng.choice(np.arange(lo, hi + 1), size=k, replace=False)`` loop:
+    every candidate day of every event gets one uniform sort key, and
+    each event keeps its ``k_i`` smallest keys.  One ``rng.random`` call
+    replaces the per-event draws, so cost is O(total days) regardless of
+    how many events there are.
+    """
+    lo = np.asarray(lo, dtype=np.int64)
+    hi = np.asarray(hi, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if not (lo.size == hi.size == counts.size):
+        raise ValueError("lo, hi and counts must have equal length")
+
+    lengths = np.maximum(hi - lo + 1, 0)
+    want = np.clip(counts, 0, lengths)
+    total = int(lengths.sum())
+    if total == 0:
+        empty = np.asarray([], dtype=np.int64)
+        return empty, empty
+
+    owners = np.repeat(np.arange(lo.size, dtype=np.int64), lengths)
+    offsets = repeat_offsets(lengths)[:-1]
+    positions = np.arange(total, dtype=np.int64) - np.repeat(offsets, lengths)
+    candidate_days = np.repeat(lo, lengths) + positions
+
+    # One key per candidate day; a stable sort keyed on (owner, key)
+    # keeps segments contiguous while shuffling within each, so the
+    # first k_i slots of each segment are a uniform k_i-subset.
+    keys = rng.random(total)
+    order = np.lexsort((keys, owners))
+    keep = positions < np.repeat(want, lengths)
+    return owners[keep], candidate_days[order][keep]
+
+
+def grouped_cumsum(
+    values: np.ndarray, starts: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Per-segment cumulative sums of a segment-contiguous array.
+
+    ``starts``/``counts`` describe back-to-back segments (as returned by
+    ``np.unique(..., return_index=True, return_counts=True)`` on the
+    sorted segment keys).  Integer inputs stay exact: the global-cumsum
+    rebase below is pure integer arithmetic for them.
+    """
+    if values.size == 0:
+        return values.copy()
+    running = np.cumsum(values)
+    base = running[starts] - values[starts]
+    return running - np.repeat(base, counts)
+
+
+def segment_first_true(
+    mask: np.ndarray, starts: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """First ``True`` position within each segment, or ``counts_i`` when
+    the segment has none (positions are segment-relative)."""
+    counts = np.asarray(counts, dtype=np.int64)
+    if mask.size == 0:
+        return np.zeros(counts.size, dtype=np.int64)
+    positions = np.arange(mask.size, dtype=np.int64) - np.repeat(starts, counts)
+    sentinel = np.where(mask, positions, mask.size)
+    return np.minimum(np.minimum.reduceat(sentinel, starts), counts)

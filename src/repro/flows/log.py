@@ -20,7 +20,7 @@ from repro.flows.record import (
     TCPFlags,
 )
 
-__all__ = ["FlowLog", "FlowBatch"]
+__all__ = ["FlowLog", "FlowBatch", "COLUMN_DTYPES"]
 
 _COLUMNS = (
     ("src_addr", np.uint32),
@@ -34,6 +34,9 @@ _COLUMNS = (
     ("start_time", np.float64),
     ("end_time", np.float64),
 )
+
+#: Public column-name -> dtype table (the schema of a :class:`FlowLog`).
+COLUMN_DTYPES = dict(_COLUMNS)
 
 
 class FlowBatch:

@@ -104,6 +104,66 @@ class TestDetection:
         assert not (slow & detected)
 
 
+class TestEdgeCases:
+    def test_tcp_empty_but_log_not(self):
+        # A log carrying only UDP flows has an EMPTY TCP view; the
+        # detector must come back clean, not crash on zero-length tables.
+        entries = [
+            (7, 1000 + t, TCPFlags.SYN, 7200.0 + t, Protocol.UDP)
+            for t in range(40)
+        ]
+        log = build_log(entries)
+        assert len(log) == 40
+        result = ScanDetector().detect(log)
+        assert result.size == 0
+        assert result.dtype == np.uint32
+
+    def test_empty_log_dtype(self):
+        result = ScanDetector().detect(FlowLog.empty())
+        assert result.size == 0
+        assert result.dtype == np.uint32
+
+    def test_exactly_min_targets_in_one_hour(self):
+        # A source at exactly the floor is flagged; one fewer is not —
+        # for a non-default calibration too.
+        config = ScanDetectorConfig(min_targets=12)
+        at_floor = build_log(sweep(7, 12, hour=5))
+        below = build_log(sweep(8, 11, hour=5))
+        assert list(ScanDetector(config).detect(at_floor)) == [7]
+        assert ScanDetector(config).detect(below).size == 0
+
+    def test_sweep_straddling_hour_boundary_splits(self):
+        # 40 distinct targets, but the burst crosses an hour boundary
+        # 20/20: neither clock-hour bucket reaches the floor, so the
+        # hourly calibration (deliberately) misses it.
+        entries = [
+            (7, 1000 + t, TCPFlags.SYN, 2 * 3600.0 - 20.0 + t) for t in range(40)
+        ]
+        log = build_log(entries)
+        hours = np.unique((log.start_time // 3600).astype(np.int64))
+        assert hours.tolist() == [1, 2]  # really does straddle
+        assert ScanDetector().detect(log).size == 0
+
+    def test_sweep_straddling_boundary_with_enough_on_one_side(self):
+        # Same straddle, but one side still clears the floor on its own.
+        entries = [
+            (7, 1000 + t, TCPFlags.SYN, 2 * 3600.0 - 5.0 + t) for t in range(40)
+        ]
+        log = build_log(entries)
+        assert list(ScanDetector().detect(log)) == [7]
+
+    def test_failed_fraction_counts_flows_not_targets(self):
+        # 30 distinct failed targets plus 31 successful repeats of ONE
+        # target in the same hour: fan-out passes (31 distinct) but the
+        # failed FLOW fraction is 30/61 < 0.5, so no flag.
+        entries = [
+            (7, 1000 + t, TCPFlags.SYN, 7200.0 + t) for t in range(30)
+        ] + [
+            (7, 999, ACKED, 7200.0 + 100 + t) for t in range(31)
+        ]
+        assert ScanDetector().detect(build_log(entries)).size == 0
+
+
 class TestConfig:
     def test_invalid_targets(self):
         with pytest.raises(ValueError):

@@ -4,6 +4,8 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.detect.trw import TRWConfig, TRWDetector
 from repro.flows.log import FlowBatch, FlowLog
@@ -116,3 +118,69 @@ class TestDetection:
         )
         assert pure_fast <= detected
         assert not (benign_only & detected)  # and spares pure clients
+
+
+#: Random flow tuples over a tiny address/time space so that repeated
+#: (src, dst) pairs and identical start times occur often — the regimes
+#: where first-contact dedup and tie-breaking matter.
+_flow_tuples = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=5),    # src
+        st.integers(min_value=100, max_value=112),  # dst
+        st.booleans(),                            # acked
+        st.integers(min_value=0, max_value=6),    # start time (many ties)
+    ),
+    min_size=0,
+    max_size=80,
+)
+
+
+class TestVectorizedMatchesReference:
+    """The array kernel must agree with the retained sequential walk."""
+
+    @given(_flow_tuples, st.integers(min_value=0, max_value=31))
+    @settings(max_examples=120, deadline=None)
+    def test_walk_equivalence(self, entries, seed):
+        # A seeded shuffle varies the LOG order of equal-time flows, so
+        # the stable tie-break itself is exercised, not just one layout.
+        rng = np.random.default_rng(seed)
+        entries = [entries[i] for i in rng.permutation(len(entries))]
+        log = build_log(entries)
+        detector = TRWDetector()
+        fast = detector.walk(log)
+        slow = detector.walk_reference(log)
+        assert set(fast) == set(slow)
+        for source, state in fast.items():
+            reference = slow[source]
+            assert state.verdict == reference.verdict
+            assert state.outcomes == reference.outcomes
+            assert state.log_ratio == pytest.approx(reference.log_ratio)
+
+    @given(_flow_tuples)
+    @settings(max_examples=60, deadline=None)
+    def test_detect_equivalence(self, entries):
+        log = build_log(entries)
+        detector = TRWDetector()
+        reference = sorted(
+            source
+            for source, state in detector.walk_reference(log).items()
+            if state.verdict == "scanner"
+        )
+        assert detector.detect(log).tolist() == reference
+
+    def test_equal_start_time_ties_follow_log_order(self):
+        # Four failures then two successes, ALL at t=0: log order is the
+        # tie-break, so the walk crosses the scanner threshold before the
+        # successes are ever consumed.
+        entries = [(7, 100 + i, False, 0) for i in range(4)]
+        entries += [(7, 200 + i, True, 0) for i in range(2)]
+        detector = TRWDetector()
+        fast = detector.walk(build_log(entries))
+        slow = detector.walk_reference(build_log(entries))
+        assert fast[7].verdict == slow[7].verdict == "scanner"
+        assert fast[7].outcomes == slow[7].outcomes == 4
+
+    def test_empty_log(self):
+        detector = TRWDetector()
+        assert detector.walk(FlowLog.empty()) == {}
+        assert detector.detect(FlowLog.empty()).size == 0

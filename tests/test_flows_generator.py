@@ -168,3 +168,47 @@ class TestGenerate:
         generator = TrafficGenerator(tiny_internet, tiny_botnet, config)
         traffic = generator.generate(Window(270, 272), rng)
         assert traffic.ground_truth("suspicious").size == 0
+
+
+class TestAllQuietWindow:
+    """Regression: a capture with zero flows must still build a schema-
+    correct FlowLog (empty populations used to contribute float64
+    ``np.asarray([])`` columns)."""
+
+    @pytest.fixture()
+    def quiet_traffic(self, tiny_internet, tiny_botnet, rng):
+        config = TrafficConfig(
+            benign_clients_per_day=0,
+            scan_participation=0.0,
+            spam_participation=0.0,
+            slow_scanner_fraction=0.0,
+            ephemeral_fraction=0.0,
+            suspicious_hosts=0,
+        )
+        generator = TrafficGenerator(tiny_internet, tiny_botnet, config)
+        return generator.generate(PAPER_WINDOWS.OCTOBER, rng)
+
+    def test_no_flows_and_no_ground_truth(self, quiet_traffic):
+        assert len(quiet_traffic.flows) == 0
+        assert all(v.size == 0 for v in quiet_traffic.populations.values())
+
+    def test_empty_columns_keep_schema_dtypes(self, quiet_traffic):
+        from repro.flows.log import COLUMN_DTYPES
+
+        for name, dtype in COLUMN_DTYPES.items():
+            assert quiet_traffic.flows.column(name).dtype == np.dtype(dtype), name
+
+    def test_empty_log_queryable(self, quiet_traffic):
+        # The empty log must survive the standard query surface.
+        flows = quiet_traffic.flows
+        assert flows.unique_sources().size == 0
+        assert flows.payload_bearing_mask().size == 0
+        assert len(flows.tcp_only()) == 0
+
+
+class TestColumnDtypes:
+    def test_generated_log_matches_schema(self, tiny_traffic):
+        from repro.flows.log import COLUMN_DTYPES
+
+        for name, dtype in COLUMN_DTYPES.items():
+            assert tiny_traffic.flows.column(name).dtype == np.dtype(dtype), name
