@@ -10,7 +10,7 @@ Usage::
         --output blocklist.txt
     uncleanliness validate --small
     uncleanliness profile --reports feed.txt
-    uncleanliness cache [info|clear]
+    uncleanliness cache [info|clear|doctor] [--purge-quarantine]
 
 The ``--small`` flag runs the ~100x reduced scenario (seconds instead of
 a minute); shapes are preserved but the counts are proportionally lower.
@@ -79,7 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
         "action",
         nargs="?",
         default=None,
-        help="(cache) 'info' (default) or 'clear'",
+        help="(cache) 'info' (default), 'clear', or 'doctor' — doctor "
+        "checksum-verifies every cached artifact, quarantines corrupt "
+        "ones, sweeps orphans and prints the store health counters",
+    )
+    parser.add_argument(
+        "--purge-quarantine",
+        action="store_true",
+        help="(cache doctor) delete quarantined files after reporting",
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="scenario seed (default: paper seed)"
@@ -150,7 +157,31 @@ def _run_cache(args: argparse.Namespace) -> int:
         removed = store.clear()
         print(f"cleared artifact cache ({removed} disk file(s) removed)")
         return 0
-    print(f"unknown cache action {action!r}; use 'info' or 'clear'",
+    if action == "doctor":
+        report = store.doctor(purge_quarantine=args.purge_quarantine)
+        degraded = (
+            f"yes ({report['degraded_reason']})" if report["degraded"] else "no"
+        )
+        print("Cache doctor:")
+        print(f"  disk dir:       {report['disk_dir'] or '(disk layer disabled)'}")
+        print(f"  entries:        {report['entries_verified']} verified, "
+              f"{report['entries_corrupt']} corrupt (quarantined), "
+              f"{report['entries_version_skew']} version-skewed, "
+              f"{report['entries_unreadable']} unreadable")
+        print(f"  orphans:        {report['orphans_swept']} swept, "
+              f"{report['tmp_removed']} temp file(s) removed")
+        if args.purge_quarantine:
+            print(f"  quarantine:     purged {report['quarantine_purged']} file(s)")
+        else:
+            print(f"  quarantine:     {report['quarantine_files']} file(s) "
+                  f"({report['quarantine_bytes']} bytes)")
+        print(f"  health:         read_errors={report['read_errors']} "
+              f"write_errors={report['write_errors']} "
+              f"retries={report['retries']} "
+              f"quarantined={report['quarantined']}")
+        print(f"  degraded:       {degraded}")
+        return 0 if not (report["entries_corrupt"] or report["degraded"]) else 1
+    print(f"unknown cache action {action!r}; use 'info', 'clear' or 'doctor'",
           file=sys.stderr)
     return 2
 

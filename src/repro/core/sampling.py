@@ -20,14 +20,28 @@ draws its subset from its own child of one ``np.random.SeedSequence``
 worker count**; ``workers=1`` (the default, overridable through
 ``$REPRO_WORKERS`` or the CLI ``--workers`` flag) simply runs the same
 per-trial streams in-process.
+
+The parallel path is **supervised**: a chunk that raises or times out
+is retried on a fresh pool, a dead worker (``BrokenProcessPool``) drops
+the run to serial execution of only the missing trial ranges, and
+completed chunks checkpoint through the artifact store so an
+interrupted evaluation resumes instead of restarting.  Because every
+trial owns a spawned seed-sequence child, every recovery path yields
+the same bits; when recovery is impossible the run fails with a typed
+:class:`MonteCarloFailure`, never partial numbers.
 """
 
 from __future__ import annotations
 
+import functools
+import hashlib
+import logging
 import math
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterator, List, Optional, Tuple
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,12 +53,24 @@ __all__ = [
     "naive_sample",
     "empirical_subsets",
     "monte_carlo",
+    "MonteCarloFailure",
     "resolve_workers",
     "trial_seed",
 ]
 
+log = logging.getLogger("repro.engine.sampling")
+
 #: Environment override for the default Monte-Carlo worker count.
 WORKERS_ENV = "REPRO_WORKERS"
+
+
+class MonteCarloFailure(RuntimeError):
+    """A Monte-Carlo evaluation that could not be completed.
+
+    Raised only after every recovery path (chunk retries on fresh
+    workers, then serial execution of the missing ranges) has been
+    exhausted; the underlying error is chained as ``__cause__``.
+    """
 
 
 def naive_sample(size: int, rng: np.random.Generator, tag: str = "naive") -> Report:
@@ -98,17 +124,32 @@ def empirical_subsets(
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
-    """The effective worker count: explicit arg, else ``$REPRO_WORKERS``, else 1."""
+    """The effective worker count: explicit arg, else ``$REPRO_WORKERS``, else 1.
+
+    A malformed environment value (non-integer, zero, negative) is
+    clamped to serial with a warning rather than raising a
+    ``ValueError`` deep inside a run — the environment is configuration,
+    not code.  An explicit ``workers`` argument below 1 is still a
+    programming error and raises.
+    """
     if workers is None:
         env = os.environ.get(WORKERS_ENV, "").strip()
         if not env:
             return 1
         try:
-            workers = int(env)
+            value = int(env)
         except ValueError:
-            raise ValueError(
-                f"${WORKERS_ENV} must be a positive integer, got {env!r}"
-            ) from None
+            log.warning(
+                "ignoring malformed $%s=%r (not an integer); running serial",
+                WORKERS_ENV, env,
+            )
+            return 1
+        if value < 1:
+            log.warning(
+                "clamping $%s=%d to 1 worker (must be >= 1)", WORKERS_ENV, value
+            )
+            return 1
+        return value
     if workers < 1:
         raise ValueError(f"workers must be >= 1: {workers}")
     return workers
@@ -139,12 +180,57 @@ def _run_trials(
     statistic: Callable[[Report], object],
 ) -> List[object]:
     """Evaluate trials ``start..stop`` (one spawned stream per trial)."""
+    from repro.engine import faults
+
+    faults.check("worker.crash")
+    faults.check("worker.fail")
+    faults.check("worker.slow")
     values = []
     for index in range(start, stop):
         rng = np.random.default_rng(trial_seed(entropy, spawn_key, index))
         subset = control.sample(size, rng, tag=f"{control.tag}[{index}]")
         values.append(statistic(subset))
     return values
+
+
+def _statistic_tag(statistic: Callable) -> str:
+    """A deterministic label for ``statistic`` (checkpoint key part).
+
+    Partials hash their bound arguments so two parametrisations of the
+    same function (e.g. different prefix tuples) never share a key.
+    """
+    if isinstance(statistic, functools.partial):
+        inner = _statistic_tag(statistic.func)
+        bound = repr(statistic.args) + repr(sorted(statistic.keywords.items()))
+        digest = hashlib.sha256(bound.encode("utf-8")).hexdigest()[:12]
+        return f"{inner}-{digest}"
+    name = getattr(statistic, "__qualname__", None) or type(statistic).__name__
+    return "".join(ch if ch.isalnum() or ch in "._-" else "." for ch in name)
+
+
+def _mc_spans(count: int, workers: int, chunk_size: Optional[int]) -> List[Tuple[int, int]]:
+    """The contiguous ``(lo, hi)`` trial ranges one evaluation fans out."""
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(count / (workers * 4)))
+    return [(lo, min(lo + chunk_size, count)) for lo in range(0, count, chunk_size)]
+
+
+def _mc_checkpoint_prefix(
+    entropy: int,
+    spawn_key: Tuple[int, ...],
+    size: int,
+    count: int,
+    statistic: Callable,
+) -> str:
+    """Store-key prefix identifying one evaluation's chunk checkpoints.
+
+    The root entropy is a fresh 128-bit draw from the caller's rng, so
+    the same rng state — and only the same rng state — resumes the same
+    checkpoints; the statistic tag keeps two different statistics fed
+    from one rng state apart.
+    """
+    key = ".".join(str(part) for part in spawn_key) or "root"
+    return f"mc-{entropy:032x}-{key}/{_statistic_tag(statistic)}-{size}x{count}"
 
 
 def monte_carlo(
@@ -155,6 +241,9 @@ def monte_carlo(
     statistic: Callable[[Report], object],
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    checkpoint: bool = True,
+    max_chunk_retries: int = 2,
+    chunk_timeout: Optional[float] = None,
 ) -> np.ndarray:
     """Evaluate ``statistic`` over ``count`` random control subsets.
 
@@ -169,6 +258,14 @@ def monte_carlo(
     result is bit-identical to the serial evaluation.  ``statistic``
     must be picklable (a module-level function or ``functools.partial``
     of one) when running in parallel.
+
+    The parallel path is supervised: failed or timed-out chunks are
+    retried ``max_chunk_retries`` times on fresh pools, a broken pool
+    (a worker died) falls back to serial execution of only the missing
+    ranges, and — with ``checkpoint=True`` — completed chunks persist
+    through the default artifact store, so rerunning an interrupted
+    evaluation with the same rng state resumes where it stopped.  When
+    no recovery path completes, :class:`MonteCarloFailure` is raised.
     """
     if count <= 0:
         raise ValueError(f"subset count must be positive: {count}")
@@ -183,20 +280,119 @@ def monte_carlo(
         values = _run_trials(
             control, size, 0, count, entropy, spawn_key, statistic
         )
-    else:
-        if chunk_size is None:
-            chunk_size = max(1, math.ceil(count / (workers * 4)))
-        spans = [
-            (lo, min(lo + chunk_size, count))
-            for lo in range(0, count, chunk_size)
-        ]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
+        return np.asarray(values, dtype=float)
+    return _supervised_monte_carlo(
+        control, size, count, entropy, spawn_key, statistic,
+        workers=workers, chunk_size=chunk_size, checkpoint=checkpoint,
+        max_chunk_retries=max_chunk_retries, chunk_timeout=chunk_timeout,
+    )
+
+
+def _supervised_monte_carlo(
+    control: Report,
+    size: int,
+    count: int,
+    entropy: int,
+    spawn_key: Tuple[int, ...],
+    statistic: Callable[[Report], object],
+    workers: int,
+    chunk_size: Optional[int],
+    checkpoint: bool,
+    max_chunk_retries: int,
+    chunk_timeout: Optional[float],
+) -> np.ndarray:
+    from repro.engine.store import MISS, ArrayCodec, default_store
+
+    spans = _mc_spans(count, workers, chunk_size)
+    results: Dict[Tuple[int, int], np.ndarray] = {}
+
+    store = default_store() if checkpoint else None
+    codec = ArrayCodec()
+    prefix = _mc_checkpoint_prefix(entropy, spawn_key, size, count, statistic)
+
+    def _chunk_key(span: Tuple[int, int]) -> str:
+        return f"{prefix}/chunk-{span[0]}-{span[1]}"
+
+    if store is not None:
+        for span in spans:
+            cached = store.get(_chunk_key(span), codec)
+            if cached is not MISS:
+                results[span] = np.asarray(cached, dtype=float)
+        if results:
+            log.info(
+                "monte_carlo resumed chunks=%d/%d prefix=%s",
+                len(results), len(spans), prefix,
+            )
+
+    pending = [span for span in spans if span not in results]
+    attempts = 0
+    pool_broken = False
+    while pending and not pool_broken and attempts <= max_chunk_retries:
+        if attempts:
+            log.warning(
+                "monte_carlo retrying chunks=%d on a fresh pool attempt=%d",
+                len(pending), attempts,
+            )
+        pool = ProcessPoolExecutor(max_workers=workers)
+        wait_for_pool = True
+        try:
+            futures = {
                 pool.submit(
                     _run_trials,
                     control, size, lo, hi, entropy, spawn_key, statistic,
+                ): (lo, hi)
+                for lo, hi in pending
+            }
+            for future, span in futures.items():
+                try:
+                    values = future.result(timeout=chunk_timeout)
+                except BrokenProcessPool:
+                    pool_broken = True
+                    break
+                except FuturesTimeoutError:
+                    log.warning(
+                        "monte_carlo chunk %s timed out after %.1fs",
+                        span, chunk_timeout,
+                    )
+                    # A hung worker would block the pool's exit; abandon
+                    # the whole pool and let the retry loop replace it.
+                    wait_for_pool = False
+                    break
+                except Exception as err:
+                    log.warning(
+                        "monte_carlo chunk %s failed err=%r", span, err
+                    )
+                else:
+                    arr = np.asarray(values, dtype=float)
+                    results[span] = arr
+                    if store is not None:
+                        store.put(_chunk_key(span), arr, codec)
+        except BrokenProcessPool:
+            pool_broken = True
+        finally:
+            pool.shutdown(wait=wait_for_pool, cancel_futures=True)
+        pending = [span for span in spans if span not in results]
+        attempts += 1
+
+    if pending:
+        log.warning(
+            "monte_carlo falling back to serial for %d missing chunk(s)%s",
+            len(pending), " (process pool broke)" if pool_broken else "",
+        )
+        for lo, hi in pending:
+            try:
+                values = _run_trials(
+                    control, size, lo, hi, entropy, spawn_key, statistic
                 )
-                for lo, hi in spans
-            ]
-            values = [value for future in futures for value in future.result()]
-    return np.asarray(values, dtype=float)
+            except Exception as err:
+                raise MonteCarloFailure(
+                    f"trials {lo}..{hi} failed in parallel workers and in "
+                    f"the serial fallback"
+                ) from err
+            results[(lo, hi)] = np.asarray(values, dtype=float)
+
+    out = np.concatenate([results[span] for span in spans], axis=0)
+    if store is not None:
+        for span in spans:
+            store.drop(_chunk_key(span))
+    return out

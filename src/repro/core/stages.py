@@ -27,6 +27,7 @@ this in the tests).
 
 from __future__ import annotations
 
+import logging
 from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
@@ -54,6 +55,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.core.scenario import ScenarioConfig
 
 __all__ = ["SCENARIO_STAGES", "scenario_engine", "reset_scenario_engine"]
+
+log = logging.getLogger("repro.engine.scenario")
 
 
 def _rng(config: "ScenarioConfig", stream: int) -> np.random.Generator:
@@ -271,6 +274,10 @@ def scenario_engine(store: Optional[ArtifactStore] = None) -> StageEngine:
     current = default_store()
     if _ENGINE is None or _ENGINE.store is not current:
         _ENGINE = StageEngine(SCENARIO_STAGES, current)
+        log.debug(
+            "scenario engine rebuilt disk_dir=%s degraded=%s",
+            current.disk_dir, current.degraded,
+        )
     return _ENGINE
 
 

@@ -12,14 +12,21 @@ address data additionally persist to disk (``~/.cache/repro`` or
 simulation entirely.
 """
 
+from repro.engine import faults
+from repro.engine.faults import FaultPlan, FaultRule, FaultSpecError, InjectedFault
 from repro.engine.fingerprint import canonicalize, fingerprint
 from repro.engine.stage import Stage, StageContext, StageEngine
 from repro.engine.store import (
     MISS,
+    ArrayCodec,
+    ArtifactMissing,
     ArtifactStore,
     Codec,
+    CorruptArtifact,
     PartitionCodec,
     ReportMappingCodec,
+    StoreError,
+    VersionSkew,
     default_store,
     reset_default_store,
     resolve_cache_dir,
@@ -37,6 +44,16 @@ __all__ = [
     "Codec",
     "ReportMappingCodec",
     "PartitionCodec",
+    "ArrayCodec",
+    "StoreError",
+    "ArtifactMissing",
+    "VersionSkew",
+    "CorruptArtifact",
+    "faults",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
+    "InjectedFault",
     "default_store",
     "set_default_store",
     "reset_default_store",

@@ -10,14 +10,19 @@ simulation.
 
 from __future__ import annotations
 
+import logging
+import time
 from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
+from repro.engine import faults
 from repro.engine.fingerprint import fingerprint
 from repro.engine.store import MISS, ArtifactStore, Codec
 
 __all__ = ["Stage", "StageContext", "StageEngine"]
+
+log = logging.getLogger("repro.engine.stage")
 
 
 @dataclass(frozen=True)
@@ -100,8 +105,14 @@ class StageEngine:
         value = self.store.get(key, stage.codec)
         if value is not MISS:
             return value
+        faults.check("stage.slow")
+        started = time.perf_counter()
         value = stage.builder(StageContext(self, config))
         self.build_counts[stage_name] += 1
+        log.debug(
+            "stage built stage=%s key=%s elapsed=%.3fs",
+            stage_name, key, time.perf_counter() - started,
+        )
         self.store.put(key, value, stage.codec)
         return value
 

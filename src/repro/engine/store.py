@@ -7,30 +7,58 @@ additionally persist to disk so the artifact survives across processes
 
 Disk location: ``$REPRO_CACHE_DIR`` when set (an empty value disables
 the disk layer entirely), otherwise ``~/.cache/repro``.  Payloads are
-``.npz`` arrays plus a ``.json`` metadata sidecar — nothing is pickled,
-so a corrupt or version-skewed entry simply misses and is rebuilt.
+``.npz`` arrays plus a ``.json`` metadata sidecar — nothing is pickled.
+
+Fault tolerance (the disk layer is a cache, so no disk failure may ever
+fail a run or corrupt a result):
+
+* every sidecar carries a SHA-256 **checksum** of its payload, verified
+  on read; a mismatch, unparseable sidecar or missing payload is
+  **quarantined** to ``<cache>/quarantine/`` and treated as a miss;
+* the payload is renamed into place *before* the sidecar, so a crash
+  mid-``put`` leaves an orphan payload (swept to quarantine on the next
+  store init), never a readable-but-wrong entry;
+* transient ``OSError``\\ s are retried with exponential backoff; a put
+  that still fails **degrades the store to memory-only mode** with a
+  one-time warning — later runs simply rebuild;
+* :meth:`ArtifactStore.doctor` verifies every entry, re-sweeps orphans
+  and reports the health counters (the ``uncleanliness cache doctor``
+  CLI verb).
+
+Injection points for the chaos suite live in :mod:`repro.engine.faults`
+(``store.read``, ``store.write``, ``store.commit``, ``store.corrupt``).
 """
 
 from __future__ import annotations
 
 import datetime
+import hashlib
+import io
 import json
+import logging
 import os
 import tempfile
+import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.core.blocking import CandidatePartition
 from repro.core.report import Report
+from repro.engine import faults
 
 __all__ = [
     "MISS",
+    "StoreError",
+    "ArtifactMissing",
+    "VersionSkew",
+    "CorruptArtifact",
     "Codec",
     "ReportMappingCodec",
     "PartitionCodec",
+    "ArrayCodec",
     "ArtifactStore",
     "resolve_cache_dir",
     "default_store",
@@ -38,15 +66,35 @@ __all__ = [
     "reset_default_store",
 ]
 
+log = logging.getLogger("repro.engine.store")
+
 #: Sentinel returned by :meth:`ArtifactStore.get` on a miss (``None`` can
 #: be a legitimate artifact value).
 MISS = object()
 
 #: Bump when the on-disk payload layout changes, or when artifact VALUES
-#: change for the same fingerprint (e.g. the columnar traffic kernels
-#: reordered RNG draws, so traffic-derived stages differ per seed from
-#: the loop-based generator's: version 2 makes those stale entries miss).
-STORE_FORMAT_VERSION = 2
+#: change for the same fingerprint.  Version 3 added the payload
+#: checksum to the sidecar envelope (entries without one are skewed).
+STORE_FORMAT_VERSION = 3
+
+#: Name of the quarantine subdirectory under the cache root.
+QUARANTINE_DIR = "quarantine"
+
+
+class StoreError(Exception):
+    """Base class for typed artifact-store errors."""
+
+
+class ArtifactMissing(StoreError):
+    """No entry on disk (a plain miss, not a failure)."""
+
+
+class VersionSkew(StoreError):
+    """An entry written by another store format version (plain miss)."""
+
+
+class CorruptArtifact(StoreError):
+    """An entry that exists but cannot be trusted (quarantined)."""
 
 
 def _sidecar(base: Path) -> Path:
@@ -62,12 +110,70 @@ def _payload(base: Path) -> Path:
 
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
     """Write-then-rename so concurrent readers never see a torn file."""
+    faults.check("store.write")
     with tempfile.NamedTemporaryFile(
         dir=str(path.parent), suffix=path.suffix + ".tmp", delete=False
     ) as handle:
         handle.write(data)
         tmp = handle.name
     os.replace(tmp, str(path))
+
+
+def _read_envelope(base: Path) -> Tuple[dict, bytes]:
+    """The verified ``(envelope, payload bytes)`` of an entry.
+
+    Raises :class:`ArtifactMissing` when there is no sidecar,
+    :class:`VersionSkew` on a format mismatch, and
+    :class:`CorruptArtifact` when the sidecar is unparseable, the
+    payload is missing, or the checksum does not match.
+    """
+    sidecar = _sidecar(base)
+    if not sidecar.exists():
+        raise ArtifactMissing(f"no sidecar for {base.name}")
+    faults.check("store.read")
+    raw = sidecar.read_bytes()
+    try:
+        envelope = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise CorruptArtifact(f"unparseable sidecar {sidecar.name}: {err}") from None
+    if not isinstance(envelope, dict):
+        raise CorruptArtifact(f"sidecar {sidecar.name} is not an object")
+    if envelope.get("format") != STORE_FORMAT_VERSION:
+        raise VersionSkew(
+            f"{sidecar.name}: format {envelope.get('format')!r}, "
+            f"want {STORE_FORMAT_VERSION}"
+        )
+    faults.check("store.read")
+    try:
+        payload_bytes = _payload(base).read_bytes()
+    except FileNotFoundError:
+        raise CorruptArtifact(f"sidecar without payload: {base.name}") from None
+    digest = hashlib.sha256(payload_bytes).hexdigest()
+    if envelope.get("checksum") != digest:
+        raise CorruptArtifact(
+            f"checksum mismatch for {base.name}: "
+            f"sidecar {envelope.get('checksum')!r} != payload {digest[:16]}..."
+        )
+    return envelope, payload_bytes
+
+
+def verify_entry(base: Path) -> dict:
+    """Checksum-verify one entry; its envelope, or a typed error."""
+    envelope, _ = _read_envelope(base)
+    return envelope
+
+
+def _corrupt_payload(base: Path) -> None:
+    """Flip one byte of the payload (the ``store.corrupt`` fault)."""
+    path = _payload(base)
+    try:
+        with open(path, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            last = handle.read(1)
+            handle.seek(-1, os.SEEK_END)
+            handle.write(bytes([last[0] ^ 0xFF]))
+    except OSError:  # pragma: no cover - nothing to corrupt
+        pass
 
 
 class Codec:
@@ -89,32 +195,44 @@ class Codec:
     # -- file plumbing ----------------------------------------------------
 
     def dump(self, value: Any, base: Path) -> None:
+        """Persist ``value``: payload first, checksummed sidecar last.
+
+        The sidecar rename is the commit point — a crash before it
+        leaves an orphan payload that the next store init quarantines,
+        never a readable entry with a missing or stale payload.
+        """
         arrays, meta = self.to_payload(value)
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        payload_bytes = buffer.getvalue()
         envelope = {
             "format": STORE_FORMAT_VERSION,
             "codec": self.name,
+            "checksum": hashlib.sha256(payload_bytes).hexdigest(),
             "meta": meta,
         }
+        _atomic_write_bytes(_payload(base), payload_bytes)
+        faults.check("store.commit")  # the chaos suite's crash window
         _atomic_write_bytes(
             _sidecar(base),
             json.dumps(envelope, sort_keys=True).encode("utf-8"),
         )
-        with tempfile.NamedTemporaryFile(
-            dir=str(base.parent), suffix=".npz.tmp", delete=False
-        ) as handle:
-            np.savez(handle, **arrays)
-            tmp = handle.name
-        os.replace(tmp, str(_payload(base)))
+        if faults.check("store.corrupt") is not None:
+            _corrupt_payload(base)
 
     def load(self, base: Path) -> Any:
-        envelope = json.loads(_sidecar(base).read_text())
-        if envelope.get("format") != STORE_FORMAT_VERSION:
-            raise ValueError("store format version mismatch")
+        envelope, payload_bytes = _read_envelope(base)
         if envelope.get("codec") != self.name:
-            raise ValueError("codec mismatch")
-        with np.load(str(_payload(base))) as payload:
-            arrays = {key: payload[key] for key in payload.files}
-        return self.from_payload(arrays, envelope["meta"])
+            raise CorruptArtifact(
+                f"codec mismatch for {base.name}: "
+                f"{envelope.get('codec')!r} != {self.name!r}"
+            )
+        try:
+            with np.load(io.BytesIO(payload_bytes)) as payload:
+                arrays = {key: payload[key] for key in payload.files}
+            return self.from_payload(arrays, envelope["meta"])
+        except (KeyError, ValueError) as err:
+            raise CorruptArtifact(f"undecodable payload {base.name}: {err}") from None
 
 
 def _report_meta(report: Report) -> dict:
@@ -177,37 +295,98 @@ class PartitionCodec(Codec):
         )
 
 
-def resolve_cache_dir() -> Optional[Path]:
+class ArrayCodec(Codec):
+    """A bare ndarray — Monte-Carlo chunk checkpoints."""
+
+    name = "ndarray"
+
+    def to_payload(self, value):
+        return {"values": np.asarray(value)}, None
+
+    def from_payload(self, arrays, meta):
+        return arrays["values"]
+
+
+def resolve_cache_dir(ensure: bool = False) -> Optional[Path]:
     """The on-disk cache root, or ``None`` when disabled.
 
     ``$REPRO_CACHE_DIR`` overrides the default ``~/.cache/repro``; an
-    empty ``$REPRO_CACHE_DIR`` disables the disk layer.
+    empty ``$REPRO_CACHE_DIR`` disables the disk layer.  With
+    ``ensure=True`` the directory is created and probe-written, and an
+    uncreatable or unwritable directory (read-only ``$HOME`` in a CI
+    container, say) falls back to ``None`` — memory-only — with a
+    warning instead of crashing the run.
     """
     env = os.environ.get("REPRO_CACHE_DIR")
     if env is not None:
-        return Path(env) if env.strip() else None
-    return Path.home() / ".cache" / "repro"
+        if not env.strip():
+            return None
+        path = Path(env)
+    else:
+        path = Path.home() / ".cache" / "repro"
+    if not ensure:
+        return path
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+        probe = path / f".write-probe-{os.getpid()}"
+        probe.write_bytes(b"")
+        probe.unlink()
+    except OSError as err:
+        log.warning(
+            "cache dir unusable dir=%s err=%s; degrading to memory-only",
+            path, err,
+        )
+        return None
+    return path
 
 
 class ArtifactStore:
-    """Bounded in-memory LRU over an optional on-disk artifact layer."""
+    """Bounded in-memory LRU over an optional on-disk artifact layer.
+
+    ``io_attempts``/``io_backoff`` bound the retry-with-backoff applied
+    to transient disk errors; a put that exhausts its retries degrades
+    the store to memory-only mode (``degraded``), because a cache that
+    cannot write must never fail the run that is filling it.
+    """
 
     def __init__(
         self,
         max_memory_items: int = 64,
         disk_dir: Optional[Path] = None,
         enable_disk: bool = True,
+        io_attempts: int = 3,
+        io_backoff: float = 0.02,
+        sweep: bool = True,
     ) -> None:
         if max_memory_items < 1:
             raise ValueError("max_memory_items must be >= 1")
+        if io_attempts < 1:
+            raise ValueError("io_attempts must be >= 1")
         self.max_memory_items = max_memory_items
         self.disk_dir = Path(disk_dir) if (enable_disk and disk_dir) else None
+        self.io_attempts = io_attempts
+        self.io_backoff = io_backoff
         self._memory: "OrderedDict[str, Any]" = OrderedDict()
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
         self.puts = 0
         self.evictions = 0
+        # -- health counters (the `cache doctor` vital signs) -------------
+        self.read_errors = 0
+        self.write_errors = 0
+        self.retries = 0
+        self.quarantined = 0
+        self.orphans_swept = 0
+        self.tmp_removed = 0
+        self.version_skew = 0
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        if self.disk_dir is not None and sweep:
+            try:
+                self._sweep_orphans()
+            except OSError as err:
+                log.warning("orphan sweep failed dir=%s err=%s", self.disk_dir, err)
 
     # -- keys -------------------------------------------------------------
 
@@ -220,6 +399,102 @@ class ArtifactStore:
             return None
         return self.disk_dir / self._base_name(key)
 
+    @property
+    def quarantine_dir(self) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / QUARANTINE_DIR
+
+    # -- retry / degradation ----------------------------------------------
+
+    def _with_retries(self, op):
+        """Run ``op``, retrying transient OSErrors with backoff.
+
+        Typed store errors (missing, skewed, corrupt) are never
+        retried — they are verdicts, not weather.
+        """
+        last: Optional[OSError] = None
+        for attempt in range(self.io_attempts):
+            try:
+                return op()
+            except StoreError:
+                raise
+            except OSError as err:
+                last = err
+                if attempt + 1 < self.io_attempts:
+                    self.retries += 1
+                    time.sleep(self.io_backoff * (2 ** attempt))
+        assert last is not None
+        raise last
+
+    def _degrade(self, reason: str) -> None:
+        """One-way switch to memory-only writes, warned exactly once."""
+        if not self.degraded:
+            self.degraded = True
+            self.degraded_reason = reason
+            log.warning(
+                "store degraded to memory-only dir=%s reason=%s",
+                self.disk_dir, reason,
+            )
+
+    def _quarantine(self, base: Path, reason: str = "") -> int:
+        """Move an entry's files out of the hot path; files moved."""
+        qdir = self.quarantine_dir
+        if qdir is None:
+            return 0
+        moved = 0
+        for path in (_payload(base), _sidecar(base)):
+            if not path.exists():
+                continue
+            try:
+                qdir.mkdir(parents=True, exist_ok=True)
+                target = qdir / path.name
+                serial = 0
+                while target.exists():
+                    serial += 1
+                    target = qdir / f"{path.name}.{serial}"
+                os.replace(str(path), str(target))
+                moved += 1
+            except OSError as err:
+                log.warning("quarantine failed file=%s err=%s", path, err)
+        if moved:
+            self.quarantined += 1
+            log.warning(
+                "store quarantined entry=%s files=%d reason=%s",
+                base.name, moved, reason or "unspecified",
+            )
+        return moved
+
+    def _sweep_orphans(self) -> None:
+        """Quarantine half-written entries and drop stale temp files.
+
+        A payload ``.npz`` without its ``.json`` sidecar (a crash
+        mid-put) — or the reverse — would otherwise miss on every read
+        forever.  Runs at store init and from :meth:`doctor`.
+        """
+        if self.disk_dir is None or not self.disk_dir.is_dir():
+            return
+        payloads, sidecars = set(), set()
+        for path in self.disk_dir.iterdir():
+            if not path.is_file():
+                continue
+            if path.name.endswith(".tmp"):
+                try:
+                    path.unlink()
+                    self.tmp_removed += 1
+                except OSError:
+                    pass
+            elif path.name.endswith(".npz"):
+                payloads.add(path.name[: -len(".npz")])
+            elif path.name.endswith(".json"):
+                sidecars.add(path.name[: -len(".json")])
+        for name in sorted(payloads.symmetric_difference(sidecars)):
+            if name.startswith(".write-probe"):
+                continue
+            side = "payload" if name in payloads else "sidecar"
+            if self._quarantine(self.disk_dir / name, reason=f"orphan {side}"):
+                self.orphans_swept += 1
+
     # -- access -----------------------------------------------------------
 
     def get(self, key: str, codec: Optional[Codec] = None) -> Any:
@@ -230,28 +505,64 @@ class ArtifactStore:
             return self._memory[key]
         base = self._disk_base(key)
         if codec is not None and base is not None:
-            try:
-                value = codec.load(base)
-            except (OSError, ValueError, KeyError, json.JSONDecodeError):
-                pass  # absent, corrupt, or version-skewed: rebuild
-            else:
+            value = self._disk_read(key, base, codec)
+            if value is not MISS:
                 self.disk_hits += 1
                 self._remember(key, value)
                 return value
         self.misses += 1
         return MISS
 
+    def _disk_read(self, key: str, base: Path, codec: Codec) -> Any:
+        try:
+            return self._with_retries(lambda: codec.load(base))
+        except ArtifactMissing:
+            return MISS
+        except VersionSkew as err:
+            self.version_skew += 1
+            log.info("store version skew key=%s err=%s", key, err)
+            return MISS
+        except CorruptArtifact as err:
+            self._quarantine(base, reason=str(err))
+            return MISS
+        except OSError as err:
+            self.read_errors += 1
+            log.warning(
+                "store read failed key=%s err=%s; treating as miss", key, err
+            )
+            return MISS
+
     def put(self, key: str, value: Any, codec: Optional[Codec] = None) -> None:
         """Cache ``value``; persist to disk when a codec is given."""
         self.puts += 1
         self._remember(key, value)
         base = self._disk_base(key)
-        if codec is not None and base is not None:
+        if codec is None or base is None or self.degraded:
+            return
+        try:
+            self._with_retries(lambda: self._dump(base, codec, value))
+        except StoreError as err:  # pragma: no cover - dump never raises these
+            self.write_errors += 1
+            log.warning("store write failed key=%s err=%s", key, err)
+        except OSError as err:
+            self.write_errors += 1
+            self._degrade(f"{type(err).__name__}: {err}")
+
+    def _dump(self, base: Path, codec: Codec, value: Any) -> None:
+        base.parent.mkdir(parents=True, exist_ok=True)
+        codec.dump(value, base)
+
+    def drop(self, key: str) -> None:
+        """Forget ``key`` everywhere (memory and disk, best effort)."""
+        self._memory.pop(key, None)
+        base = self._disk_base(key)
+        if base is None:
+            return
+        for path in (_payload(base), _sidecar(base)):
             try:
-                base.parent.mkdir(parents=True, exist_ok=True)
-                codec.dump(value, base)
+                path.unlink()
             except OSError:
-                pass  # a read-only cache dir degrades to memory-only
+                pass
 
     def _remember(self, key: str, value: Any) -> None:
         self._memory[key] = value
@@ -268,11 +579,21 @@ class ArtifactStore:
         return [
             path
             for path in self.disk_dir.iterdir()
-            if path.suffix in (".npz", ".json")
+            if path.is_file() and path.suffix in (".npz", ".json")
         ]
 
+    def _quarantine_files(self):
+        qdir = self.quarantine_dir
+        if qdir is None or not qdir.is_dir():
+            return []
+        return [path for path in qdir.iterdir() if path.is_file()]
+
     def clear(self, memory: bool = True, disk: bool = True) -> int:
-        """Drop cached artifacts; returns the number of disk files removed."""
+        """Drop cached artifacts; returns the number of disk files removed.
+
+        Quarantined files are kept for post-mortems; purge them with
+        :meth:`purge_quarantine` (``cache doctor --purge-quarantine``).
+        """
         if memory:
             self._memory.clear()
         removed = 0
@@ -285,6 +606,31 @@ class ArtifactStore:
                     pass
         return removed
 
+    def purge_quarantine(self) -> int:
+        """Delete quarantined files; returns how many were removed."""
+        removed = 0
+        for path in self._quarantine_files():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def health(self) -> dict:
+        """The fault/degradation counters on their own."""
+        return {
+            "read_errors": self.read_errors,
+            "write_errors": self.write_errors,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            "orphans_swept": self.orphans_swept,
+            "tmp_removed": self.tmp_removed,
+            "version_skew": self.version_skew,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+        }
+
     def info(self) -> dict:
         """A snapshot of cache contents and hit counters."""
         files = self._disk_files()
@@ -294,7 +640,7 @@ class ArtifactStore:
                 disk_bytes += path.stat().st_size
             except OSError:
                 pass
-        return {
+        snapshot = {
             "memory_entries": len(self._memory),
             "max_memory_items": self.max_memory_items,
             "disk_dir": str(self.disk_dir) if self.disk_dir else None,
@@ -305,7 +651,60 @@ class ArtifactStore:
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
+            "quarantine_files": len(self._quarantine_files()),
         }
+        snapshot.update(self.health())
+        return snapshot
+
+    def doctor(self, purge_quarantine: bool = False) -> dict:
+        """Verify every on-disk entry and report store health.
+
+        Checksums each entry's payload against its sidecar, quarantines
+        anything corrupt, re-sweeps orphans and stale temp files, and
+        optionally purges the quarantine.  Safe to run on a live cache.
+        """
+        verified = corrupt = skewed = unreadable = 0
+        if self.disk_dir is not None and self.disk_dir.is_dir():
+            try:
+                self._sweep_orphans()
+            except OSError as err:
+                log.warning("doctor sweep failed err=%s", err)
+            for sidecar in sorted(self.disk_dir.glob("*.json")):
+                base = self.disk_dir / sidecar.name[: -len(".json")]
+                try:
+                    self._with_retries(lambda b=base: verify_entry(b))
+                except (ArtifactMissing, CorruptArtifact) as err:
+                    self._quarantine(base, reason=str(err))
+                    corrupt += 1
+                except VersionSkew:
+                    self.version_skew += 1
+                    skewed += 1
+                except OSError as err:
+                    self.read_errors += 1
+                    log.warning("doctor cannot read entry=%s err=%s", base, err)
+                    unreadable += 1
+                else:
+                    verified += 1
+        quarantine = self._quarantine_files()
+        quarantine_bytes = 0
+        for path in quarantine:
+            try:
+                quarantine_bytes += path.stat().st_size
+            except OSError:
+                pass
+        purged = self.purge_quarantine() if purge_quarantine else 0
+        report = {
+            "disk_dir": str(self.disk_dir) if self.disk_dir else None,
+            "entries_verified": verified,
+            "entries_corrupt": corrupt,
+            "entries_version_skew": skewed,
+            "entries_unreadable": unreadable,
+            "quarantine_files": 0 if purge_quarantine else len(quarantine),
+            "quarantine_bytes": 0 if purge_quarantine else quarantine_bytes,
+            "quarantine_purged": purged,
+        }
+        report.update(self.health())
+        return report
 
 
 _DEFAULT_STORE: Optional[ArtifactStore] = None
@@ -315,7 +714,7 @@ def default_store() -> ArtifactStore:
     """The process-wide store (created lazily from the environment)."""
     global _DEFAULT_STORE
     if _DEFAULT_STORE is None:
-        _DEFAULT_STORE = ArtifactStore(disk_dir=resolve_cache_dir())
+        _DEFAULT_STORE = ArtifactStore(disk_dir=resolve_cache_dir(ensure=True))
     return _DEFAULT_STORE
 
 

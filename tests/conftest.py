@@ -26,10 +26,19 @@ def artifact_cache(tmp_path_factory):
     """Isolate the on-disk artifact cache for the whole test session.
 
     Keeps tests hermetic (no reads from a developer's warm
-    ``~/.cache/repro``) and keeps test artifacts out of it.
+    ``~/.cache/repro``) and keeps test artifacts out of it.  An
+    explicitly *empty* ``REPRO_CACHE_DIR`` is honoured as-is so the CI
+    memory-only leg genuinely runs the suite without a disk cache.
     """
-    path = tmp_path_factory.mktemp("repro-cache")
     previous = os.environ.get("REPRO_CACHE_DIR")
+    if previous == "":
+        reset_default_store()
+        reset_scenario_engine()
+        yield None
+        reset_default_store()
+        reset_scenario_engine()
+        return
+    path = tmp_path_factory.mktemp("repro-cache")
     os.environ["REPRO_CACHE_DIR"] = str(path)
     reset_default_store()
     reset_scenario_engine()
