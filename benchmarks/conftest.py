@@ -13,8 +13,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.api import run_scenario
 from repro.core.scenario import ScenarioConfig
-from repro.experiments.common import default_scenario
 
 #: Monte-Carlo subsets for the density/prediction benchmarks.  The paper
 #: uses 1000; 200 keeps the suite under a few minutes while leaving the
@@ -25,7 +25,7 @@ BENCH_SUBSETS = 200
 @pytest.fixture(scope="session")
 def scenario():
     """The full-scale paper scenario (stage-cached, lazily built)."""
-    return default_scenario(ScenarioConfig())
+    return run_scenario(ScenarioConfig()).scenario
 
 
 @pytest.fixture

@@ -19,7 +19,8 @@ import datetime
 
 import numpy as np
 
-from repro import PaperScenario, ScenarioConfig, UncleanlinessScorer
+from repro.api import run_scenario
+from repro.core.uncleanliness import UncleanlinessScorer
 from repro.core.report import Report
 from repro.detect.botlog import BotLogMonitor
 from repro.ipspace import cidr as lowcidr
@@ -32,7 +33,7 @@ SCORE_THRESHOLD = 0.5
 
 
 def main() -> None:
-    scenario = PaperScenario(ScenarioConfig.small())
+    scenario = run_scenario(small=True)
     rng = np.random.default_rng(1)
 
     # --- 1. September evidence (the feeds we would actually hold) -------

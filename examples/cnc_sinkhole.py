@@ -13,9 +13,8 @@ Run:  python examples/cnc_sinkhole.py
 
 import numpy as np
 
-from repro import ScenarioConfig, prediction_test
+from repro.api import prediction_test, run_scenario
 from repro.core.report import DataClass, Report, ReportType
-from repro.core.scenario import PaperScenario
 from repro.detect.cnc import SinkholeMonitor
 from repro.flows.generator import TrafficConfig, TrafficGenerator
 from repro.sim.timeline import PAPER_WINDOWS
@@ -24,8 +23,8 @@ SINKHOLED_CHANNEL = 9  # a botnet outside every Table 1 feed
 
 
 def main() -> None:
-    config = ScenarioConfig.small()
-    scenario = PaperScenario(config)
+    scenario = run_scenario(small=True)
+    config = scenario.config
     rng = np.random.default_rng(4)
 
     # --- seize one channel's rendezvous and replay October ---------------
@@ -57,10 +56,7 @@ def main() -> None:
     # --- does the sinkholed botnet predict the other botnets? ------------
     # The prediction target is the October membership of the channels the
     # provided bot feed covers — botnets the sinkhole never saw.
-    other_bots = scenario.bot
-    result = prediction_test(
-        cnc_report, other_bots, scenario.control, rng, subsets=150
-    )
+    result = prediction_test(scenario, cnc_report, "bot", rng=rng, subsets=150)
     print("predicting OTHER botnets' October members from the sinkhole:")
     for n in (16, 20, 24, 28):
         print(f"  /{n}: intersection={result.observed[n]:>4}  "

@@ -4,7 +4,7 @@
 Builds the fast (~1s) version of the paper's datasets — a synthetic
 Internet, a year of botnet and phishing activity, the October 2006
 observation window, and every report of Table 1 — then runs the paper's
-two core tests:
+two core tests through the :mod:`repro.api` facade:
 
 * spatial uncleanliness (§4): do compromised hosts cluster into fewer
   /n blocks than random control addresses?
@@ -16,23 +16,23 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import PaperScenario, ScenarioConfig, density_test, prediction_test
+from repro.api import density_test, prediction_test, run_scenario
 
 
 def main() -> None:
     print("Building the scenario (synthetic Internet + botnet + detectors)...")
-    scenario = PaperScenario(ScenarioConfig.small())
-    print(f"  {scenario.internet!r}")
-    print(f"  {scenario.botnet!r}")
+    run = run_scenario(small=True)
+    print(f"  {run.internet!r}")
+    print(f"  {run.botnet!r}")
     print(f"  reports: " + ", ".join(
-        f"{tag}={len(report)}" for tag, report in sorted(scenario.reports.items())
+        f"{tag}={len(report)}" for tag, report in sorted(run.reports.items())
     ))
     print()
 
     rng = np.random.default_rng(0)
 
     print("Spatial uncleanliness (Eq. 3): are bots denser than control?")
-    spatial = density_test(scenario.bot, scenario.control, rng, subsets=100)
+    spatial = density_test(run, "bot", rng=rng, subsets=100)
     for n in (16, 20, 24, 28):
         print(
             f"  /{n}: bot blocks={spatial.observed[n]:>5}  "
@@ -43,9 +43,7 @@ def main() -> None:
     print()
 
     print("Temporal uncleanliness (Eq. 5): does May's botnet predict October's?")
-    temporal = prediction_test(
-        scenario.bot_test, scenario.bot, scenario.control, rng, subsets=100
-    )
+    temporal = prediction_test(run, "bot-test", "bot", rng=rng, subsets=100)
     for n in (16, 20, 24, 28):
         print(
             f"  /{n}: intersection={temporal.observed[n]:>3}  "
@@ -57,9 +55,7 @@ def main() -> None:
     print()
 
     print("And the negative result: bots do NOT predict phishing (§5.2).")
-    phish = prediction_test(
-        scenario.bot_test, scenario.phish_present, scenario.control, rng, subsets=100
-    )
+    phish = prediction_test(run, "bot-test", "phish-present", rng=rng, subsets=100)
     print(f"  predictive prefixes vs phishing: {phish.predictive_prefixes() or 'none'}")
 
 

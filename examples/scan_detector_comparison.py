@@ -19,7 +19,7 @@ Run:  python examples/scan_detector_comparison.py
 
 import numpy as np
 
-from repro import PaperScenario, ScenarioConfig
+from repro.api import run_scenario
 from repro.detect.logistic import LogisticScanModel
 from repro.detect.scan import ScanDetector
 from repro.detect.trw import TRWDetector
@@ -43,7 +43,7 @@ def score(name, detected, truth, slow, benign):
 
 
 def main() -> None:
-    scenario = PaperScenario(ScenarioConfig.small())
+    scenario = run_scenario(small=True)
     capture = scenario.october_traffic
     flows = capture.flows
     truth = set(capture.ground_truth("fast_scanners").tolist())

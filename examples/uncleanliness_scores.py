@@ -17,11 +17,12 @@ This example:
 Run:  python examples/uncleanliness_scores.py
 """
 
-from repro import PaperScenario, ScenarioConfig, UncleanlinessScorer, block_jaccard
+from repro.api import run_scenario
+from repro.core.uncleanliness import UncleanlinessScorer, block_jaccard
 
 
 def main() -> None:
-    scenario = PaperScenario(ScenarioConfig.small())
+    scenario = run_scenario(small=True)
     reports = {
         "bots": scenario.bot,
         "scanning": scenario.scan,

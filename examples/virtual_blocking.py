@@ -13,13 +13,13 @@ table (the paper's Table 3) plus ROC operating points.
 Run:  python examples/virtual_blocking.py
 """
 
-from repro import PaperScenario, ScenarioConfig
+from repro.api import run_scenario
 from repro.core import cidr as rcidr
 from repro.flows.record import TCPFlags
 
 
 def main() -> None:
-    scenario = PaperScenario(ScenarioConfig.small())
+    scenario = run_scenario(small=True)
     flows = scenario.october_traffic.flows
     print(f"October border capture: {len(flows)} flows, "
           f"{flows.unique_sources().size} distinct external sources")

@@ -13,7 +13,7 @@ Run:  python examples/weekly_tracking.py
 
 import datetime
 
-from repro import PaperScenario, ScenarioConfig
+from repro.api import run_scenario
 from repro.core.report import Report
 from repro.core.tracking import TrackerConfig, UncleanlinessTracker
 from repro.sim.timeline import Window, date_to_day
@@ -27,7 +27,7 @@ def week_window(index: int) -> Window:
 
 
 def main() -> None:
-    scenario = PaperScenario(ScenarioConfig.small())
+    scenario = run_scenario(small=True)
     tracker = UncleanlinessTracker(
         TrackerConfig(ttl_days=45, listing_threshold=0.5)
     )

@@ -1,22 +1,29 @@
 """Reproduction of Collins et al., "Using uncleanliness to predict future
 botnet addresses" (IMC 2007).
 
-Quick start::
+Quick start — the :mod:`repro.api` facade is the public surface::
 
-    from repro import PaperScenario, ScenarioConfig, density_test, prediction_test
-    import numpy as np
+    from repro.api import run_scenario, density_test, prediction_test
 
-    scenario = PaperScenario(ScenarioConfig.small())
-    rng = np.random.default_rng(0)
-    spatial = density_test(scenario.bot, scenario.control, rng, subsets=100)
+    run = run_scenario(small=True)
+    spatial = density_test(run, "bot", subsets=100)   # §4 spatial test
     print(spatial.hypothesis_holds())
+    temporal = prediction_test(run, "bot-test", "bot", subsets=100)
+    print(temporal.predictive_range())                # §5 temporal test
 
 Subpackages
 -----------
+``repro.api``
+    The supported entry point: ``run_scenario``, ``density_test``,
+    ``prediction_test``, ``evaluate_blocking``, returning frozen typed
+    result dataclasses.
 ``repro.core``
     The paper's contribution: reports, CIDR analysis, the spatial and
     temporal uncleanliness tests, the §6 blocking experiment, the §7
     multidimensional metric, and the end-to-end scenario builder.
+``repro.obs``
+    Observability: span tracing, typed metrics, run manifests
+    (``runs/<fingerprint>-<n>/manifest.json``).
 ``repro.ipspace``
     IPv4 address arithmetic, CIDR blocks, IANA 2006 allocations,
     reserved-space filtering.
@@ -28,53 +35,86 @@ Subpackages
     Scan (fan-out and TRW), spam, bot-log and phishing-list detectors.
 ``repro.experiments``
     One module per paper table/figure, regenerating its rows/series.
+
+Importing deep names (``PaperScenario``, ``blocking_test``, ...) from
+this top-level package still works but emits a one-time
+``DeprecationWarning`` per name; import them from :mod:`repro.core` (or
+switch to the facade) instead.
 """
 
-from repro.core import (
-    BETTER_PREDICTOR_LEVEL,
-    BLOCKING_PREFIXES,
-    PREFIX_RANGE,
-    BlockingResult,
-    BlockScores,
-    CandidatePartition,
-    DataClass,
-    DensityResult,
-    PaperScenario,
-    PredictionResult,
-    Report,
-    ReportType,
-    ScenarioConfig,
-    UncleanlinessScorer,
-    block_jaccard,
-    blocking_test,
-    density_test,
-    partition_candidates,
-    prediction_test,
-)
-from repro.ipspace import CIDRBlock
+import warnings as _warnings
 
-__version__ = "1.0.0"
+from repro.api import (
+    BlockingResult,
+    DensityResult,
+    PredictionResult,
+    ScenarioConfig,
+    ScenarioRun,
+    density_test,
+    evaluate_blocking,
+    prediction_test,
+    run_scenario,
+)
+from repro.core.report import Report
+
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
-    "Report",
-    "ReportType",
-    "DataClass",
-    "CIDRBlock",
-    "PREFIX_RANGE",
-    "BETTER_PREDICTOR_LEVEL",
-    "BLOCKING_PREFIXES",
-    "DensityResult",
+    "run_scenario",
     "density_test",
-    "PredictionResult",
     "prediction_test",
-    "BlockingResult",
-    "CandidatePartition",
-    "partition_candidates",
-    "blocking_test",
-    "UncleanlinessScorer",
-    "BlockScores",
-    "block_jaccard",
-    "PaperScenario",
+    "evaluate_blocking",
+    "ScenarioRun",
     "ScenarioConfig",
+    "Report",
+    "DensityResult",
+    "PredictionResult",
+    "BlockingResult",
 ]
+
+#: Names that used to live in the eager top-level namespace; now served
+#: lazily with a one-time deprecation warning each, pointing at the
+#: stable home.  Format: name -> (module, attribute).
+_LEGACY = {
+    "ReportType": ("repro.core.report", "ReportType"),
+    "DataClass": ("repro.core.report", "DataClass"),
+    "CIDRBlock": ("repro.ipspace", "CIDRBlock"),
+    "PREFIX_RANGE": ("repro.core.cidr", "PREFIX_RANGE"),
+    "BETTER_PREDICTOR_LEVEL": ("repro.core.prediction", "BETTER_PREDICTOR_LEVEL"),
+    "BLOCKING_PREFIXES": ("repro.core.blocking", "BLOCKING_PREFIXES"),
+    "CandidatePartition": ("repro.core.blocking", "CandidatePartition"),
+    "partition_candidates": ("repro.core.blocking", "partition_candidates"),
+    "blocking_test": ("repro.core.blocking", "blocking_test"),
+    "UncleanlinessScorer": ("repro.core.uncleanliness", "UncleanlinessScorer"),
+    "BlockScores": ("repro.core.uncleanliness", "BlockScores"),
+    "block_jaccard": ("repro.core.uncleanliness", "block_jaccard"),
+    "PaperScenario": ("repro.core.scenario", "PaperScenario"),
+}
+
+_LEGACY_WARNED = set()
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LEGACY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    if name not in _LEGACY_WARNED:
+        _LEGACY_WARNED.add(name)
+        _warnings.warn(
+            f"importing {name!r} from the top-level 'repro' package is "
+            f"deprecated; import it from {module_name!r} or use the "
+            f"repro.api facade",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(__all__) | set(_LEGACY))

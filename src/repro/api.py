@@ -1,0 +1,271 @@
+"""The public facade: four verbs covering the paper's experiments.
+
+Everything a library user needs is here::
+
+    from repro.api import run_scenario, density_test, prediction_test, \
+        evaluate_blocking
+
+    run = run_scenario(small=True)
+    spatial = density_test(run, "bot", subsets=200)    # §4: Figs. 2-3
+    temporal = prediction_test(run, "bot-test", "bot") # §5: Figs. 4-5
+    blocking = evaluate_blocking(run)                  # §6: Table 3
+
+:func:`run_scenario` returns a :class:`ScenarioRun` — a frozen handle
+pairing a :class:`~repro.core.scenario.ScenarioConfig` with its
+fingerprint and the (shared, lazily built) scenario behind it.  The
+three test verbs accept a run, a config, a raw scenario, or ``None``
+(the paper's default configuration) plus report *tags* instead of report
+objects, and return the frozen typed result dataclasses from
+:mod:`repro.core` (:class:`DensityResult`, :class:`PredictionResult`,
+:class:`BlockingResult`).
+
+Determinism: when no ``rng``/``seed`` is given, each test seeds its
+generator from ``config.seed ^ 0xC1D`` — the same convention the CLI
+uses — so facade results are reproducible from the scenario seed alone
+and identical to an `uncleanliness` run with the same flags.
+
+Scenarios are cached per config fingerprint (two configs sharing a seed
+but differing in any field get independent entries), so repeated facade
+calls never rebuild artifacts; the heavy stage values additionally live
+in the engine's content-addressed store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.blocking import BLOCKING_PREFIXES, BlockingResult
+from repro.core.blocking import blocking_test as _blocking_test
+from repro.core.cidr import PREFIX_RANGE
+from repro.core.density import DensityResult
+from repro.core.density import density_test as _density_test
+from repro.core.prediction import PredictionResult
+from repro.core.prediction import prediction_test as _prediction_test
+from repro.core.report import Report
+from repro.core.scenario import PaperScenario, ScenarioConfig
+from repro.obs import trace as obs_trace
+
+__all__ = [
+    "ScenarioRun",
+    "run_scenario",
+    "density_test",
+    "prediction_test",
+    "evaluate_blocking",
+    "clear_scenario_cache",
+    "DensityResult",
+    "PredictionResult",
+    "BlockingResult",
+    "ScenarioConfig",
+]
+
+#: One scenario per config fingerprint; stage artifacts live in the store.
+_SCENARIOS: Dict[str, PaperScenario] = {}
+
+
+def _scenario_for(config: Optional[ScenarioConfig] = None) -> PaperScenario:
+    """The shared scenario for a config, keyed by its full fingerprint."""
+    config = config or ScenarioConfig()
+    key = config.fingerprint()
+    scenario = _SCENARIOS.get(key)
+    if scenario is None:
+        scenario = PaperScenario._create(config)
+        _SCENARIOS[key] = scenario
+    return scenario
+
+
+def clear_scenario_cache() -> None:
+    """Drop the shared scenario handles (used by tests).
+
+    Stage artifacts in the engine store are untouched; reset or clear
+    the store itself (:func:`repro.engine.reset_default_store`) to force
+    real rebuilds.
+    """
+    _SCENARIOS.clear()
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """A frozen handle on one configured scenario.
+
+    Equality and hashing go by ``fingerprint`` (two runs of the same
+    config are the same run); every :class:`PaperScenario` attribute —
+    ``bot``, ``control``, ``partition``, ``report(tag)``,
+    ``table1_rows()`` — is available by delegation.
+    """
+
+    config: ScenarioConfig
+    fingerprint: str
+    _scenario: PaperScenario = field(repr=False, compare=False)
+
+    def report(self, tag: str) -> Report:
+        """Look up a report by its Table 1/2 tag."""
+        return self._scenario.report(tag)
+
+    def table1_rows(self) -> List[dict]:
+        """The report inventory in the shape of the paper's Table 1."""
+        return self._scenario.table1_rows()
+
+    @property
+    def scenario(self) -> PaperScenario:
+        """The underlying scenario (for code migrating off the old API)."""
+        return self._scenario
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(object.__getattribute__(self, "_scenario"), name)
+
+
+def run_scenario(
+    config: Optional[ScenarioConfig] = None,
+    *,
+    small: bool = False,
+    seed: Optional[int] = None,
+) -> ScenarioRun:
+    """Configure (but do not yet build) the paper's datasets.
+
+    ``small=True`` selects the ~100x reduced test configuration; ``seed``
+    overrides the config's seed.  Nothing is simulated until a report is
+    first touched, and scenarios are shared per config fingerprint, so
+    calling this repeatedly is free.
+    """
+    if config is None:
+        config = ScenarioConfig.small() if small else ScenarioConfig()
+    elif small:
+        raise ValueError("pass either a config or small=True, not both")
+    if seed is not None:
+        config = replace(config, seed=seed)
+    with obs_trace.span("api.run_scenario", small=small):
+        scenario = _scenario_for(config)
+    return ScenarioRun(
+        config=scenario.config,
+        fingerprint=scenario.config.fingerprint(),
+        _scenario=scenario,
+    )
+
+
+ScenarioLike = Union[ScenarioRun, PaperScenario, ScenarioConfig, None]
+
+
+def _resolve_scenario(scenario: ScenarioLike) -> PaperScenario:
+    if isinstance(scenario, ScenarioRun):
+        return scenario._scenario
+    if isinstance(scenario, PaperScenario):
+        return scenario
+    if isinstance(scenario, ScenarioConfig) or scenario is None:
+        return _scenario_for(scenario)
+    raise TypeError(
+        f"expected a ScenarioRun, PaperScenario, ScenarioConfig or None, "
+        f"got {type(scenario).__name__}"
+    )
+
+
+def _as_report(scenario: PaperScenario, report: Union[str, Report]) -> Report:
+    if isinstance(report, Report):
+        return report
+    return scenario.report(report)
+
+
+def _default_rng(
+    scenario: PaperScenario,
+    rng: Optional[np.random.Generator],
+    seed: Optional[int],
+) -> np.random.Generator:
+    if rng is not None:
+        if seed is not None:
+            raise ValueError("pass either rng or seed, not both")
+        return rng
+    if seed is not None:
+        return np.random.default_rng(seed)
+    # The CLI's convention: derived from, but distinct from, the data seed.
+    return np.random.default_rng(scenario.config.seed ^ 0xC1D)
+
+
+def density_test(
+    scenario: ScenarioLike = None,
+    report: Union[str, Report] = "bot",
+    *,
+    control: Union[str, Report] = "control",
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    prefixes: Sequence[int] = tuple(PREFIX_RANGE),
+    subsets: int = 1000,
+    include_naive: bool = False,
+    naive_subsets: int = 20,
+    workers: Optional[int] = None,
+) -> DensityResult:
+    """The §4.2 spatial uncleanliness test for one report tag.
+
+    Wraps :func:`repro.core.density.density_test`, resolving ``report``
+    and ``control`` tags against the scenario's Table 1 reports and
+    seeding the Monte-Carlo generator from the scenario seed when no
+    ``rng``/``seed`` is given.
+    """
+    sc = _resolve_scenario(scenario)
+    unclean = _as_report(sc, report)
+    with obs_trace.span("api.density_test", report=unclean.tag):
+        return _density_test(
+            unclean,
+            _as_report(sc, control),
+            _default_rng(sc, rng, seed),
+            prefixes=prefixes,
+            subsets=subsets,
+            include_naive=include_naive,
+            naive_subsets=naive_subsets,
+            workers=workers,
+        )
+
+
+def prediction_test(
+    scenario: ScenarioLike = None,
+    past: Union[str, Report] = "bot-test",
+    present: Union[str, Report] = "bot",
+    *,
+    control: Union[str, Report] = "control",
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    prefixes: Sequence[int] = tuple(PREFIX_RANGE),
+    subsets: int = 1000,
+    workers: Optional[int] = None,
+) -> PredictionResult:
+    """The §5.2 temporal uncleanliness test for one (past, present) pair.
+
+    Wraps :func:`repro.core.prediction.prediction_test` with the same
+    tag resolution and seeding conventions as :func:`density_test`.
+    """
+    sc = _resolve_scenario(scenario)
+    past_report = _as_report(sc, past)
+    present_report = _as_report(sc, present)
+    with obs_trace.span(
+        "api.prediction_test", past=past_report.tag, present=present_report.tag
+    ):
+        return _prediction_test(
+            past_report,
+            present_report,
+            _as_report(sc, control),
+            _default_rng(sc, rng, seed),
+            prefixes=prefixes,
+            subsets=subsets,
+            workers=workers,
+        )
+
+
+def evaluate_blocking(
+    scenario: ScenarioLike = None,
+    *,
+    bot_test: Union[str, Report] = "bot-test",
+    prefixes: Sequence[int] = BLOCKING_PREFIXES,
+) -> BlockingResult:
+    """The §6 virtual-blocking experiment (Table 3 plus ROC points).
+
+    Partitions October traffic into candidates (resolved through the
+    stage engine) and scores the virtual block of ``C_n(bot_test)`` at
+    each prefix via :func:`repro.core.blocking.blocking_test`.
+    """
+    sc = _resolve_scenario(scenario)
+    report = _as_report(sc, bot_test)
+    with obs_trace.span("api.evaluate_blocking", bot_test=report.tag):
+        return _blocking_test(sc.partition, report, prefixes)

@@ -11,6 +11,7 @@ Usage::
     uncleanliness validate --small
     uncleanliness profile --reports feed.txt
     uncleanliness cache [info|clear|doctor] [--purge-quarantine]
+    uncleanliness trace [latest|<run-dir>|<fingerprint-prefix>]
 
 The ``--small`` flag runs the ~100x reduced scenario (seconds instead of
 a minute); shapes are preserved but the counts are proportionally lower.
@@ -20,6 +21,12 @@ or ``$REPRO_CACHE_DIR``), so a warm rerun of any table/figure skips the
 simulation; ``uncleanliness cache`` inspects or clears that cache.
 ``--workers`` (default ``$REPRO_WORKERS`` or serial) parallelises the
 Monte-Carlo control subsets with bit-identical results.
+
+Observability: every run executes with span tracing enabled and leaves
+a manifest — config fingerprint, seed, versions, metrics, span tree —
+in ``runs/<fingerprint>-<n>/`` (``$REPRO_RUNS_DIR`` overrides; empty
+disables).  ``uncleanliness trace`` pretty-prints a stored span tree,
+and ``--profile`` on any verb prints the run's hotspot table.
 """
 
 from __future__ import annotations
@@ -30,7 +37,11 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.scenario import PaperScenario, ScenarioConfig
+from repro.core.scenario import ScenarioConfig
+from repro.obs import manifest as obs_manifest
+from repro.obs import metrics as obs_metrics
+from repro.obs import render as obs_render
+from repro.obs import trace as obs_trace
 from repro.experiments import (
     ablation,
     figure1,
@@ -69,11 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(_SCENARIO_EXPERIMENTS)
-        + ["figure1", "ablation", "all", "score", "validate", "profile", "cache"],
+        + ["figure1", "ablation", "all", "score", "validate", "profile",
+           "cache", "trace"],
         help="which experiment to regenerate; 'score' scores user-provided "
         "report files into a /24 blocklist, 'validate' runs the statistical "
         "generator checks, 'profile' prints the address-structure profile "
-        "of report files, 'cache' inspects or clears the artifact cache",
+        "of report files, 'cache' inspects or clears the artifact cache, "
+        "'trace' pretty-prints the span tree of a recorded run",
     )
     parser.add_argument(
         "action",
@@ -81,7 +94,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="(cache) 'info' (default), 'clear', or 'doctor' — doctor "
         "checksum-verifies every cached artifact, quarantines corrupt "
-        "ones, sweeps orphans and prints the store health counters",
+        "ones, sweeps orphans and prints the store health counters; "
+        "(trace) a run selector: 'latest' (default), a run directory "
+        "name, a fingerprint prefix, or a path",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="after the run, print the top-N span hotspot table "
+        "(self-time ranking) to stderr",
     )
     parser.add_argument(
         "--purge-quarantine",
@@ -186,12 +207,44 @@ def _run_cache(args: argparse.Namespace) -> int:
     return 2
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    """Pretty-print the span tree stored in a run manifest."""
+    selector = args.action or "latest"
+    run_dir = obs_manifest.find_run(selector)
+    if run_dir is None:
+        print(
+            f"no recorded run matches {selector!r} under "
+            f"{obs_manifest.resolve_runs_dir() or '(manifests disabled)'}",
+            file=sys.stderr,
+        )
+        return 1
+    manifest = obs_manifest.load_manifest(run_dir)
+    print(f"run:         {run_dir.name}")
+    print(f"command:     {manifest.get('command')}")
+    print(f"fingerprint: {manifest.get('fingerprint')}")
+    print(f"seed:        {manifest.get('seed')}")
+    coverage = manifest.get("span_coverage")
+    if coverage is not None:
+        print(f"coverage:    {coverage:.1%} of root wall time in child spans")
+    span = manifest.get("span")
+    if span is None:
+        print("(no span tree recorded)")
+        return 0
+    print()
+    print(obs_render.render_span_tree(span))
+    if args.profile:
+        print()
+        print(obs_render.render_hotspots(span))
+    return 0
+
+
 def _run_validate(args: argparse.Namespace) -> int:
     """Run the statistical generator checks on a built scenario."""
+    from repro.api import run_scenario
     from repro.experiments.common import render_table
     from repro.sim.validation import validate_botnet
 
-    scenario = PaperScenario(_scenario_config(args))
+    scenario = run_scenario(_scenario_config(args))
     results = validate_botnet(scenario.botnet)
     print("Statistical validation of the botnet generator:")
     print()
@@ -269,24 +322,55 @@ def _scenario_config(args: argparse.Namespace) -> ScenarioConfig:
     return config
 
 
-def _run_one(name: str, scenario: PaperScenario, args: argparse.Namespace) -> str:
+def _run_one(name: str, scenario, args: argparse.Namespace) -> str:
     module, takes_subsets = _SCENARIO_EXPERIMENTS[name]
-    if takes_subsets:
-        rng = np.random.default_rng(scenario.config.seed ^ 0xC1D)
-        result = module.run(
-            scenario, rng, subsets=args.subsets, workers=args.workers
-        )
-    else:
-        result = module.run(scenario)
-    return module.format_result(result)
+    with obs_trace.span(f"experiment.{name}", subsets=args.subsets):
+        if takes_subsets:
+            rng = np.random.default_rng(scenario.config.seed ^ 0xC1D)
+            result = module.run(
+                scenario, rng, subsets=args.subsets, workers=args.workers
+            )
+        else:
+            result = module.run(scenario)
+        return module.format_result(result)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _figure1_config(args: argparse.Namespace):
+    config = figure1.Figure1Config()
+    if args.seed is not None:
+        from dataclasses import replace
 
-    if args.experiment == "cache":
-        return _run_cache(args)
+        config = replace(config, seed=args.seed)
+    return config
 
+
+def _manifest_identity(args: argparse.Namespace):
+    """The ``(fingerprint, seed)`` identifying one CLI run's manifest.
+
+    Scenario verbs use the full scenario-config fingerprint (what the
+    artifact store keys on); figure1 fingerprints its own config; the
+    report-file verbs fingerprint their canonicalised arguments.
+    """
+    from repro.engine.fingerprint import fingerprint
+
+    if args.experiment == "figure1":
+        config = _figure1_config(args)
+        return fingerprint(config), config.seed
+    if args.experiment in ("score", "profile"):
+        identity = {
+            "experiment": args.experiment,
+            "reports": sorted(args.reports or ()),
+            "threshold": args.threshold,
+            "prefix": args.prefix,
+        }
+        return fingerprint(identity), None
+    if args.experiment == "ablation":
+        return fingerprint({"experiment": "ablation", "seed": args.seed}), args.seed
+    config = _scenario_config(args)
+    return config.fingerprint(), config.seed
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.experiment == "score":
         return _run_score(args)
 
@@ -297,58 +381,86 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_profile(args)
 
     if args.experiment == "figure1":
-        config = figure1.Figure1Config()
-        if args.seed is not None:
-            from dataclasses import replace
-
-            config = replace(config, seed=args.seed)
-        print(figure1.format_result(figure1.run(config)))
+        with obs_trace.span("experiment.figure1"):
+            output = figure1.format_result(figure1.run(_figure1_config(args)))
+        with obs_trace.span("render"):
+            print(output)
         return 0
 
     if args.experiment == "ablation":
-        print(ablation.format_rows(
-            "Ablation: uncleanliness tail vs. spatial clustering",
-            ablation.uncleanliness_tail_ablation(),
-        ))
-        print()
-        print(ablation.format_rows(
-            "Ablation: bot-report age vs. temporal prediction",
-            ablation.report_age_ablation(),
-        ))
-        print()
-        print(ablation.format_rows(
-            "Ablation: naive vs. empirical control estimation",
-            ablation.estimator_ablation(),
-        ))
-        print()
-        print(ablation.format_rows(
-            "Ablation: predictor quality across the prefix band",
-            ablation.prefix_band_ablation(),
-        ))
-        print()
-        print(ablation.format_rows(
-            "Ablation: blacklist-aware attackers vs. prediction",
-            ablation.evasion_ablation(),
-        ))
-        print()
-        print(ablation.format_rows(
-            "Ablation: homogeneous blocks vs network-aware clustering",
-            ablation.clustering_ablation(),
-        ))
-        print()
-        print(ablation.format_rows(
-            "Ablation: uncleanliness-field stability (temporal mechanism)",
-            ablation.field_stability_ablation(),
-        ))
+        sections = (
+            ("Ablation: uncleanliness tail vs. spatial clustering",
+             ablation.uncleanliness_tail_ablation),
+            ("Ablation: bot-report age vs. temporal prediction",
+             ablation.report_age_ablation),
+            ("Ablation: naive vs. empirical control estimation",
+             ablation.estimator_ablation),
+            ("Ablation: predictor quality across the prefix band",
+             ablation.prefix_band_ablation),
+            ("Ablation: blacklist-aware attackers vs. prediction",
+             ablation.evasion_ablation),
+            ("Ablation: homogeneous blocks vs network-aware clustering",
+             ablation.clustering_ablation),
+            ("Ablation: uncleanliness-field stability (temporal mechanism)",
+             ablation.field_stability_ablation),
+        )
+        for index, (title, section) in enumerate(sections):
+            if index:
+                print()
+            with obs_trace.span(f"experiment.ablation.{section.__name__}"):
+                rows = section()
+            print(ablation.format_rows(title, rows))
         return 0
 
-    from repro.experiments.common import default_scenario
+    from repro.api import run_scenario
 
-    scenario = default_scenario(_scenario_config(args))
+    with obs_trace.span("scenario.init"):
+        scenario = run_scenario(_scenario_config(args)).scenario
     names = _ALL if args.experiment == "all" else (args.experiment,)
     outputs = [_run_one(name, scenario, args) for name in names]
-    print("\n\n".join(outputs))
+    with obs_trace.span("render"):
+        print("\n\n".join(outputs))
     return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    # Meta verbs inspect state rather than produce results; they run
+    # untraced and leave no manifest.
+    if args.experiment == "cache":
+        return _run_cache(args)
+    if args.experiment == "trace":
+        return _run_trace(args)
+
+    obs_metrics.reset()
+    tracer = obs_trace.tracer()
+    was_enabled = tracer.enabled
+    tracer.enabled = True
+    root = None
+    try:
+        with tracer.span(f"cli.{args.experiment}") as root:
+            code = _dispatch(args)
+    finally:
+        tracer.enabled = was_enabled
+        if root is not None and root in tracer.roots:
+            tracer.roots.remove(root)
+
+    span_dict = root.to_dict()
+    fingerprint, seed = _manifest_identity(args)
+    manifest_path = obs_manifest.write_manifest(
+        command=args.experiment,
+        fingerprint=fingerprint,
+        seed=seed,
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        span=span_dict,
+        exit_code=code,
+    )
+    if manifest_path is not None:
+        print(f"[manifest: {manifest_path}]", file=sys.stderr)
+    if args.profile:
+        print(obs_render.render_hotspots(span_dict), file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

@@ -48,6 +48,9 @@ import numpy as np
 from repro.core.report import DataClass, Report, ReportType
 from repro.ipspace.iana import allocated_octets
 from repro.ipspace.reserved import reserved_mask
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import warn_event
 
 __all__ = [
     "naive_sample",
@@ -139,14 +142,18 @@ def resolve_workers(workers: Optional[int] = None) -> int:
         try:
             value = int(env)
         except ValueError:
-            log.warning(
-                "ignoring malformed $%s=%r (not an integer); running serial",
-                WORKERS_ENV, env,
+            warn_event(
+                "workers.malformed",
+                f"ignoring malformed ${WORKERS_ENV}={env!r} (not an "
+                f"integer); running serial",
+                logger=log,
             )
             return 1
         if value < 1:
-            log.warning(
-                "clamping $%s=%d to 1 worker (must be >= 1)", WORKERS_ENV, value
+            warn_event(
+                "workers.clamped",
+                f"clamping ${WORKERS_ENV}={value} to 1 worker (must be >= 1)",
+                logger=log,
             )
             return 1
         return value
@@ -191,6 +198,38 @@ def _run_trials(
         subset = control.sample(size, rng, tag=f"{control.tag}[{index}]")
         values.append(statistic(subset))
     return values
+
+
+def _run_trials_traced(
+    control: Report,
+    size: int,
+    start: int,
+    stop: int,
+    entropy: int,
+    spawn_key: Tuple[int, ...],
+    statistic: Callable[[Report], object],
+    traced: bool = False,
+) -> Tuple[List[object], Optional[dict]]:
+    """:func:`_run_trials` plus an optional serialised worker span.
+
+    Worker processes cannot share the supervisor's tracer, so when
+    ``traced`` each chunk times itself in a private tracer and ships the
+    finished span back as a dict for the supervisor to
+    :func:`repro.obs.trace.attach` into the live tree.
+    """
+    if not traced:
+        return (
+            _run_trials(control, size, start, stop, entropy, spawn_key, statistic),
+            None,
+        )
+    worker_tracer = obs_trace.Tracer(enabled=True)
+    with worker_tracer.span(
+        "mc.chunk", start=start, stop=stop, pid=os.getpid()
+    ):
+        values = _run_trials(
+            control, size, start, stop, entropy, spawn_key, statistic
+        )
+    return values, worker_tracer.roots[-1].to_dict()
 
 
 def _statistic_tag(statistic: Callable) -> str:
@@ -276,16 +315,25 @@ def monte_carlo(
     root = np.random.SeedSequence(int.from_bytes(rng.bytes(16), "little"))
     entropy, spawn_key = root.entropy, root.spawn_key
 
-    if workers == 1 or count == 1:
-        values = _run_trials(
-            control, size, 0, count, entropy, spawn_key, statistic
+    obs_metrics.inc("mc.trials", count)
+    obs_metrics.inc("mc.streams", count)  # one spawned rng stream per trial
+    with obs_trace.span(
+        "monte_carlo",
+        trials=count,
+        workers=workers,
+        entropy=f"{entropy:032x}",
+    ):
+        if workers == 1 or count == 1:
+            with obs_trace.span("mc.chunk", start=0, stop=count):
+                values = _run_trials(
+                    control, size, 0, count, entropy, spawn_key, statistic
+                )
+            return np.asarray(values, dtype=float)
+        return _supervised_monte_carlo(
+            control, size, count, entropy, spawn_key, statistic,
+            workers=workers, chunk_size=chunk_size, checkpoint=checkpoint,
+            max_chunk_retries=max_chunk_retries, chunk_timeout=chunk_timeout,
         )
-        return np.asarray(values, dtype=float)
-    return _supervised_monte_carlo(
-        control, size, count, entropy, spawn_key, statistic,
-        workers=workers, chunk_size=chunk_size, checkpoint=checkpoint,
-        max_chunk_retries=max_chunk_retries, chunk_timeout=chunk_timeout,
-    )
 
 
 def _supervised_monte_carlo(
@@ -319,6 +367,7 @@ def _supervised_monte_carlo(
             if cached is not MISS:
                 results[span] = np.asarray(cached, dtype=float)
         if results:
+            obs_metrics.inc("mc.chunks_resumed", len(results))
             log.info(
                 "monte_carlo resumed chunks=%d/%d prefix=%s",
                 len(results), len(spans), prefix,
@@ -327,8 +376,10 @@ def _supervised_monte_carlo(
     pending = [span for span in spans if span not in results]
     attempts = 0
     pool_broken = False
+    traced = obs_trace.enabled()
     while pending and not pool_broken and attempts <= max_chunk_retries:
         if attempts:
+            obs_metrics.inc("mc.chunk_retries", len(pending))
             log.warning(
                 "monte_carlo retrying chunks=%d on a fresh pool attempt=%d",
                 len(pending), attempts,
@@ -338,14 +389,15 @@ def _supervised_monte_carlo(
         try:
             futures = {
                 pool.submit(
-                    _run_trials,
+                    _run_trials_traced,
                     control, size, lo, hi, entropy, spawn_key, statistic,
+                    traced,
                 ): (lo, hi)
                 for lo, hi in pending
             }
             for future, span in futures.items():
                 try:
-                    values = future.result(timeout=chunk_timeout)
+                    values, span_dict = future.result(timeout=chunk_timeout)
                 except BrokenProcessPool:
                     pool_broken = True
                     break
@@ -363,6 +415,11 @@ def _supervised_monte_carlo(
                         "monte_carlo chunk %s failed err=%r", span, err
                     )
                 else:
+                    if span_dict is not None:
+                        obs_trace.attach(span_dict)
+                        obs_metrics.observe(
+                            "mc.chunk_seconds", float(span_dict["wall"])
+                        )
                     arr = np.asarray(values, dtype=float)
                     results[span] = arr
                     if store is not None:
@@ -375,6 +432,7 @@ def _supervised_monte_carlo(
         attempts += 1
 
     if pending:
+        obs_metrics.inc("mc.serial_fallback", len(pending))
         log.warning(
             "monte_carlo falling back to serial for %d missing chunk(s)%s",
             len(pending), " (process pool broke)" if pool_broken else "",

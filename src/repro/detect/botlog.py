@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.sim.botnet import BotnetSimulation
 from repro.sim.timeline import Window
 
@@ -53,8 +54,11 @@ class BotLogMonitor:
         covers the botnets its operators have infiltrated, not all of
         them); the default observes every channel.
         """
-        members = botnet.active_addresses(window, channels=channels)
-        if members.size == 0:
-            return members
-        seen = rng.random(members.size) < self.config.observation_probability
-        return members[seen]
+        with obs.instrument("detect.botlog"):
+            members = botnet.active_addresses(window, channels=channels)
+            if members.size == 0:
+                return members
+            seen = rng.random(members.size) < self.config.observation_probability
+            logged = members[seen]
+        obs.metrics.inc("detect.botlog.addresses", int(logged.size))
+        return logged

@@ -21,6 +21,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro import obs
 from repro.flows.log import FlowLog
 from repro.flows.record import Protocol
 
@@ -56,6 +57,10 @@ class SinkholeMonitor:
 
     def detect(self, flows: FlowLog, sinkholes: Iterable[int]) -> np.ndarray:
         """Sorted unique sources seen rendezvousing with ``sinkholes``."""
+        with obs.instrument("detect.cnc", events=len(flows)):
+            return self._detect(flows, sinkholes)
+
+    def _detect(self, flows: FlowLog, sinkholes: Iterable[int]) -> np.ndarray:
         sinkhole_arr = np.unique(np.asarray(list(sinkholes), dtype=np.uint32))
         if sinkhole_arr.size == 0 or len(flows) == 0:
             return np.asarray([], dtype=np.uint32)

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.flows.log import FlowLog
 from repro.flows.record import Protocol, TCPFlags
 
@@ -179,11 +180,12 @@ class LogisticScanModel:
 
     def detect(self, flows: FlowLog) -> np.ndarray:
         """Sorted unique sources classified as scanners."""
-        sources, features = extract_features(flows)
-        if sources.size == 0:
-            return sources
-        probabilities = self.predict_probability(features)
-        return sources[probabilities >= self.threshold]
+        with obs.instrument("detect.logistic", events=len(flows)):
+            sources, features = extract_features(flows)
+            if sources.size == 0:
+                return sources
+            probabilities = self.predict_probability(features)
+            return sources[probabilities >= self.threshold]
 
     def coefficients(self) -> List[dict]:
         """Fitted weights per feature (standardised scale)."""

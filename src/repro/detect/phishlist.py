@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.sim.phishing import PhishingSimulation
 from repro.sim.timeline import Window
 
@@ -55,10 +56,15 @@ class PhishListAggregator:
         probability) and its listing day — go-live day plus an exponential
         lag, capped at its takedown day — falls inside ``window``.
         """
-        reported = rng.random(phishing.num_sites) < self.config.report_probability
-        lags = rng.exponential(
-            max(self.config.mean_report_lag_days, 1e-9), size=phishing.num_sites
-        ).astype(np.int64)
-        listing_day = np.minimum(phishing.start_day + lags, phishing.end_day)
-        in_window = (listing_day >= window.start_day) & (listing_day <= window.end_day)
-        return np.unique(phishing.address[reported & in_window])
+        with obs.instrument("detect.phishlist"):
+            reported = rng.random(phishing.num_sites) < self.config.report_probability
+            lags = rng.exponential(
+                max(self.config.mean_report_lag_days, 1e-9), size=phishing.num_sites
+            ).astype(np.int64)
+            listing_day = np.minimum(phishing.start_day + lags, phishing.end_day)
+            in_window = (listing_day >= window.start_day) & (
+                listing_day <= window.end_day
+            )
+            listed = np.unique(phishing.address[reported & in_window])
+        obs.metrics.inc("detect.phishlist.addresses", int(listed.size))
+        return listed

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.flows.log import FlowLog
 from repro.flows.record import Protocol, TCPFlags
 
@@ -53,6 +54,10 @@ class ScanDetector:
 
     def detect(self, flows: FlowLog) -> np.ndarray:
         """Sorted unique source addresses flagged as scanners."""
+        with obs.instrument("detect.scan", events=len(flows)):
+            return self._detect(flows)
+
+    def _detect(self, flows: FlowLog) -> np.ndarray:
         tcp = flows.select(flows.protocol == Protocol.TCP)
         if len(tcp) == 0:
             return np.asarray([], dtype=np.uint32)

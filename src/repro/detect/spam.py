@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.flows.log import FlowLog
 from repro.flows.record import Protocol
 
@@ -64,6 +65,10 @@ class SpamDetector:
 
     def detect(self, flows: FlowLog) -> np.ndarray:
         """Sorted unique source addresses flagged as spammers."""
+        with obs.instrument("detect.spam", events=len(flows)):
+            return self._detect(flows)
+
+    def _detect(self, flows: FlowLog) -> np.ndarray:
         smtp_mask = (
             (flows.protocol == Protocol.TCP)
             & (flows.dst_port == _SMTP_PORT)

@@ -42,6 +42,7 @@ from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.flows.kernels import grouped_cumsum, segment_first_true, segment_positions
 from repro.flows.log import FlowLog
 from repro.flows.record import Protocol, TCPFlags
@@ -199,8 +200,9 @@ class TRWDetector:
 
     def detect(self, flows: FlowLog) -> np.ndarray:
         """Sorted unique source addresses declared scanners."""
-        sources, _, _, verdict_code = self._walk_kernel(flows)
-        return sources[verdict_code == 1].astype(np.uint32)
+        with obs.instrument("detect.trw", events=len(flows)):
+            sources, _, _, verdict_code = self._walk_kernel(flows)
+            return sources[verdict_code == 1].astype(np.uint32)
 
     # -- sequential reference ---------------------------------------------
 

@@ -19,6 +19,8 @@ from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 from repro.engine import faults
 from repro.engine.fingerprint import fingerprint
 from repro.engine.store import MISS, ArtifactStore, Codec
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 __all__ = ["Stage", "StageContext", "StageEngine"]
 
@@ -107,11 +109,15 @@ class StageEngine:
             return value
         faults.check("stage.slow")
         started = time.perf_counter()
-        value = stage.builder(StageContext(self, config))
+        with obs_trace.span(f"stage.{stage_name}", key=key):
+            value = stage.builder(StageContext(self, config))
+        elapsed = time.perf_counter() - started
         self.build_counts[stage_name] += 1
+        obs_metrics.inc(f"stage.builds.{stage_name}")
+        obs_metrics.observe(f"stage.seconds.{stage_name}", elapsed)
         log.debug(
             "stage built stage=%s key=%s elapsed=%.3fs",
-            stage_name, key, time.perf_counter() - started,
+            stage_name, key, elapsed,
         )
         self.store.put(key, value, stage.codec)
         return value

@@ -48,6 +48,9 @@ import numpy as np
 from repro.core.blocking import CandidatePartition
 from repro.core.report import Report
 from repro.engine import faults
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import warn_event
 
 __all__ = [
     "MISS",
@@ -194,12 +197,14 @@ class Codec:
 
     # -- file plumbing ----------------------------------------------------
 
-    def dump(self, value: Any, base: Path) -> None:
+    def dump(self, value: Any, base: Path) -> int:
         """Persist ``value``: payload first, checksummed sidecar last.
 
         The sidecar rename is the commit point — a crash before it
         leaves an orphan payload that the next store init quarantines,
         never a readable entry with a missing or stale payload.
+        Returns the number of payload+sidecar bytes written (the
+        per-stage bytes metric).
         """
         arrays, meta = self.to_payload(value)
         buffer = io.BytesIO()
@@ -211,14 +216,13 @@ class Codec:
             "checksum": hashlib.sha256(payload_bytes).hexdigest(),
             "meta": meta,
         }
+        sidecar_bytes = json.dumps(envelope, sort_keys=True).encode("utf-8")
         _atomic_write_bytes(_payload(base), payload_bytes)
         faults.check("store.commit")  # the chaos suite's crash window
-        _atomic_write_bytes(
-            _sidecar(base),
-            json.dumps(envelope, sort_keys=True).encode("utf-8"),
-        )
+        _atomic_write_bytes(_sidecar(base), sidecar_bytes)
         if faults.check("store.corrupt") is not None:
             _corrupt_payload(base)
+        return len(payload_bytes) + len(sidecar_bytes)
 
     def load(self, base: Path) -> Any:
         envelope, payload_bytes = _read_envelope(base)
@@ -332,9 +336,11 @@ def resolve_cache_dir(ensure: bool = False) -> Optional[Path]:
         probe.write_bytes(b"")
         probe.unlink()
     except OSError as err:
-        log.warning(
-            "cache dir unusable dir=%s err=%s; degrading to memory-only",
-            path, err,
+        warn_event(
+            "store.cache_dir_unusable",
+            f"cache dir unusable; degrading to memory-only: {err}",
+            logger=log,
+            dir=str(path),
         )
         return None
     return path
@@ -423,6 +429,7 @@ class ArtifactStore:
                 last = err
                 if attempt + 1 < self.io_attempts:
                     self.retries += 1
+                    obs_metrics.inc("store.retries")
                     time.sleep(self.io_backoff * (2 ** attempt))
         assert last is not None
         raise last
@@ -432,9 +439,11 @@ class ArtifactStore:
         if not self.degraded:
             self.degraded = True
             self.degraded_reason = reason
-            log.warning(
-                "store degraded to memory-only dir=%s reason=%s",
-                self.disk_dir, reason,
+            warn_event(
+                "store.degraded",
+                f"store degraded to memory-only dir={self.disk_dir} "
+                f"reason={reason}",
+                logger=log,
             )
 
     def _quarantine(self, base: Path, reason: str = "") -> int:
@@ -459,9 +468,11 @@ class ArtifactStore:
                 log.warning("quarantine failed file=%s err=%s", path, err)
         if moved:
             self.quarantined += 1
-            log.warning(
-                "store quarantined entry=%s files=%d reason=%s",
-                base.name, moved, reason or "unspecified",
+            warn_event(
+                "store.quarantined",
+                f"store quarantined entry={base.name} files={moved} "
+                f"reason={reason or 'unspecified'}",
+                logger=log,
             )
         return moved
 
@@ -499,19 +510,26 @@ class ArtifactStore:
 
     def get(self, key: str, codec: Optional[Codec] = None) -> Any:
         """The cached value for ``key``, or :data:`MISS`."""
+        with obs_trace.span("store.get", key=key) as sp:
+            value, outcome = self._lookup(key, codec)
+            sp.set(outcome=outcome)
+        obs_metrics.inc(f"store.get.{outcome}")
+        return value
+
+    def _lookup(self, key: str, codec: Optional[Codec]) -> Tuple[Any, str]:
         if key in self._memory:
             self._memory.move_to_end(key)
             self.memory_hits += 1
-            return self._memory[key]
+            return self._memory[key], "memory-hit"
         base = self._disk_base(key)
         if codec is not None and base is not None:
             value = self._disk_read(key, base, codec)
             if value is not MISS:
                 self.disk_hits += 1
                 self._remember(key, value)
-                return value
+                return value, "disk-hit"
         self.misses += 1
-        return MISS
+        return MISS, "miss"
 
     def _disk_read(self, key: str, base: Path, codec: Codec) -> Any:
         try:
@@ -535,22 +553,38 @@ class ArtifactStore:
     def put(self, key: str, value: Any, codec: Optional[Codec] = None) -> None:
         """Cache ``value``; persist to disk when a codec is given."""
         self.puts += 1
+        with obs_trace.span("store.put", key=key) as sp:
+            outcome, nbytes = self._store(key, value, codec)
+            sp.set(outcome=outcome)
+        obs_metrics.inc(f"store.put.{outcome}")
+        if nbytes:
+            stage = key.rsplit("/", 1)[-1]
+            obs_metrics.inc(f"store.bytes.{stage}", nbytes)
+
+    def _store(
+        self, key: str, value: Any, codec: Optional[Codec]
+    ) -> Tuple[str, int]:
         self._remember(key, value)
         base = self._disk_base(key)
-        if codec is None or base is None or self.degraded:
-            return
+        if codec is None or base is None:
+            return "memory", 0
+        if self.degraded:
+            return "degraded", 0
         try:
-            self._with_retries(lambda: self._dump(base, codec, value))
+            nbytes = self._with_retries(lambda: self._dump(base, codec, value))
+            return "disk", int(nbytes or 0)
         except StoreError as err:  # pragma: no cover - dump never raises these
             self.write_errors += 1
             log.warning("store write failed key=%s err=%s", key, err)
+            return "error", 0
         except OSError as err:
             self.write_errors += 1
             self._degrade(f"{type(err).__name__}: {err}")
+            return "error", 0
 
-    def _dump(self, base: Path, codec: Codec, value: Any) -> None:
+    def _dump(self, base: Path, codec: Codec, value: Any) -> int:
         base.parent.mkdir(parents=True, exist_ok=True)
-        codec.dump(value, base)
+        return codec.dump(value, base)
 
     def drop(self, key: str) -> None:
         """Forget ``key`` everywhere (memory and disk, best effort)."""

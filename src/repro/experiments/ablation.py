@@ -70,7 +70,7 @@ def uncleanliness_tail_ablation(
         config = replace(
             config, internet=replace(config.internet, uncleanliness_alpha=alpha)
         )
-        scenario = PaperScenario(config)
+        scenario = PaperScenario._create(config)
         rng = np.random.default_rng(seed)
         result = density_test(
             scenario.bot, scenario.control, rng, subsets=_SUBSETS
@@ -104,7 +104,7 @@ def report_age_ablation(
     from repro.sim.timeline import PAPER_WINDOWS, Window
 
     config = _small_config(seed)
-    scenario = PaperScenario(config)
+    scenario = PaperScenario._create(config)
     rng = np.random.default_rng(seed)
     rows = []
     for gap in gaps_days:
@@ -149,7 +149,7 @@ def estimator_ablation(
     fold when measured against the naive estimate — the reason the paper
     (Fig. 2) adopts the empirical estimate.
     """
-    scenario = scenario or PaperScenario(_small_config(seed))
+    scenario = scenario or PaperScenario._create(_small_config(seed))
     rng = np.random.default_rng(seed)
     size = len(scenario.bot)
     empirical = scenario.control.sample(size, rng)
@@ -183,7 +183,7 @@ def prefix_band_ablation(
     prefixes, the unclean report dominant in the mid band, and both
     predictors starving (intersections -> 0) at the long end.
     """
-    scenario = scenario or PaperScenario(_small_config(seed))
+    scenario = scenario or PaperScenario._create(_small_config(seed))
     rng = np.random.default_rng(seed)
     result = prediction_test(
         scenario.bot_test, scenario.bot, scenario.control, rng, subsets=subsets
@@ -222,7 +222,7 @@ def evasion_ablation(
     from repro.sim.timeline import PAPER_WINDOWS
 
     config = _small_config(seed)
-    baseline = PaperScenario(config)
+    baseline = PaperScenario._create(config)
     avoided = rcidr.cidr_set(baseline.bot_test, 24)
 
     rows = []
@@ -276,7 +276,7 @@ def clustering_ablation(
     """
     from repro.ipspace.clusters import synthesize_table
 
-    scenario = PaperScenario(_small_config(seed))
+    scenario = PaperScenario._create(_small_config(seed))
     rng = np.random.default_rng(seed)
     size = len(scenario.bot)
 

@@ -1,46 +1,56 @@
-"""Shared helpers for the experiment modules: table rendering and the
-default scenario cache.
+"""Shared helpers for the experiment modules: table rendering, plus the
+deprecated scenario-cache shims.
 
-Every experiment accepts an explicit :class:`~repro.core.scenario.PaperScenario`,
-and the heavy artifacts behind one live in the engine's
-fingerprint-keyed store (:mod:`repro.engine`), so
-:func:`default_scenario` only has to hand out one facade per distinct
-configuration.  Unlike the old seed-keyed module cache, two configs
-sharing a seed but differing in any field get independent entries — no
-eviction, no thrash, no collision.
+The scenario cache moved to :mod:`repro.api` (one scenario per config
+fingerprint, shared with :func:`repro.api.run_scenario`);
+:func:`default_scenario` and :func:`clear_scenario_cache` remain as
+thin delegating shims so old imports keep working, with a one-time
+``DeprecationWarning`` each.  :func:`render_table` is not deprecated.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+import warnings
+from typing import Optional, Sequence
 
 from repro.core.scenario import PaperScenario, ScenarioConfig
 
 __all__ = ["render_table", "default_scenario", "clear_scenario_cache"]
 
-#: One facade per config fingerprint; stage artifacts live in the store.
-_SCENARIOS: Dict[str, PaperScenario] = {}
+_WARNED = set()
+
+
+def _warn_moved(name: str) -> None:
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"repro.experiments.common.{name} is deprecated; use repro.api "
+        f"(run_scenario / clear_scenario_cache) — the cache behind both "
+        f"is the same",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def default_scenario(config: Optional[ScenarioConfig] = None) -> PaperScenario:
-    """The shared scenario for a config, keyed by its full fingerprint."""
-    config = config or ScenarioConfig()
-    key = config.fingerprint()
-    scenario = _SCENARIOS.get(key)
-    if scenario is None:
-        scenario = PaperScenario(config)
-        _SCENARIOS[key] = scenario
-    return scenario
+    """Deprecated: the shared scenario for a config (see :mod:`repro.api`).
+
+    Delegates to the facade's fingerprint-keyed cache, so mixing old and
+    new call sites still yields one scenario per configuration.
+    """
+    from repro import api
+
+    _warn_moved("default_scenario")
+    return api._scenario_for(config)
 
 
 def clear_scenario_cache() -> None:
-    """Drop the shared facades (used by tests).
+    """Deprecated: drop the shared scenarios (see :mod:`repro.api`)."""
+    from repro import api
 
-    Stage artifacts in the engine store are untouched; reset or clear
-    the store itself (:func:`repro.engine.reset_default_store`) to force
-    real rebuilds.
-    """
-    _SCENARIOS.clear()
+    _warn_moved("clear_scenario_cache")
+    api.clear_scenario_cache()
 
 
 def render_table(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) -> str:

@@ -42,12 +42,15 @@ Python iteration per bot.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.flows.kernels import sample_day_segments
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.flows.log import COLUMN_DTYPES, FlowLog
 from repro.flows.record import Protocol, TCPFlags
 from repro.sim.botnet import BotnetSimulation
@@ -254,33 +257,52 @@ class TrafficGenerator:
 
     def generate(self, window: Window, rng: np.random.Generator) -> BorderTraffic:
         """Generate the full border capture for ``window``."""
+        started = time.perf_counter()
         chunks = _Chunks()
         populations: Dict[str, np.ndarray] = {}
 
-        populations["benign"] = self._benign(window, rng, chunks)
+        with obs_trace.span("flows.generate", days=window.num_days):
+            with obs_trace.span("flows.population.benign"):
+                populations["benign"] = self._benign(window, rng, chunks)
 
-        event_idx = self.botnet.event_indices(window)
-        roles = self._assign_bot_roles(event_idx, rng)
-        populations["fast_scanners"] = self._fast_scans(window, rng, chunks, roles["fast"])
-        populations["spammers"] = self._spam(window, rng, chunks, roles["spam"])
-        populations["slow_scanners"] = self._slow_scans(
-            window,
-            rng,
-            chunks,
-            self.botnet.address[roles["slow"]],
-            clip_events=roles["slow"],
-        )
-        populations["ephemeral"] = self._ephemeral(
-            window,
-            rng,
-            chunks,
-            self.botnet.address[roles["ephemeral"]],
-            clip_events=roles["ephemeral"],
-        )
-        populations["suspicious"] = self._suspicious(window, rng, chunks)
-        populations["cnc"] = self._cnc_rendezvous(window, rng, chunks, event_idx)
+            event_idx = self.botnet.event_indices(window)
+            roles = self._assign_bot_roles(event_idx, rng)
+            with obs_trace.span("flows.population.fast_scanners"):
+                populations["fast_scanners"] = self._fast_scans(
+                    window, rng, chunks, roles["fast"]
+                )
+            with obs_trace.span("flows.population.spammers"):
+                populations["spammers"] = self._spam(window, rng, chunks, roles["spam"])
+            with obs_trace.span("flows.population.slow_scanners"):
+                populations["slow_scanners"] = self._slow_scans(
+                    window,
+                    rng,
+                    chunks,
+                    self.botnet.address[roles["slow"]],
+                    clip_events=roles["slow"],
+                )
+            with obs_trace.span("flows.population.ephemeral"):
+                populations["ephemeral"] = self._ephemeral(
+                    window,
+                    rng,
+                    chunks,
+                    self.botnet.address[roles["ephemeral"]],
+                    clip_events=roles["ephemeral"],
+                )
+            with obs_trace.span("flows.population.suspicious"):
+                populations["suspicious"] = self._suspicious(window, rng, chunks)
+            with obs_trace.span("flows.population.cnc"):
+                populations["cnc"] = self._cnc_rendezvous(window, rng, chunks, event_idx)
 
-        return BorderTraffic(window=window, flows=chunks.to_log(), populations=populations)
+            with obs_trace.span("flows.to_log"):
+                log = chunks.to_log()
+
+        elapsed = time.perf_counter() - started
+        obs_metrics.inc("flows.generated", len(log))
+        if elapsed > 0:
+            obs_metrics.set_gauge("flows.per_sec", len(log) / elapsed)
+        obs_metrics.observe("flows.generate.seconds", elapsed)
+        return BorderTraffic(window=window, flows=log, populations=populations)
 
     # -- bot role assignment ---------------------------------------------------
 

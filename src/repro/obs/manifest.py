@@ -1,0 +1,226 @@
+"""Run manifests: every CLI run leaves a traceable record on disk.
+
+A manifest ties a produced table/figure back to its exact inputs:
+``runs/<fingerprint>-<n>/manifest.json`` records the configuration
+fingerprint, seed, tool versions, the metrics snapshot and the full
+span tree of the run, and ``metrics.prom`` beside it carries the flat
+Prometheus export.  ``uncleanliness trace <run>`` pretty-prints the
+stored span tree; any figure in a paper draft can be traced to the
+manifest of the run that drew it.
+
+Location: ``./runs`` by default, ``$REPRO_RUNS_DIR`` overrides, and an
+*empty* ``$REPRO_RUNS_DIR`` disables manifests entirely (the same
+convention as ``$REPRO_CACHE_DIR``).  Manifest writing is best-effort:
+an unwritable runs directory warns through the structured event channel
+and never fails the run.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import platform
+import re
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+__all__ = [
+    "RUNS_ENV",
+    "MANIFEST_SCHEMA_VERSION",
+    "resolve_runs_dir",
+    "new_run_dir",
+    "write_manifest",
+    "load_manifest",
+    "list_runs",
+    "find_run",
+]
+
+log = logging.getLogger("repro.obs.manifest")
+
+#: Environment override for the runs directory; empty disables.
+RUNS_ENV = "REPRO_RUNS_DIR"
+
+#: Bump on any backwards-incompatible manifest layout change.
+MANIFEST_SCHEMA_VERSION = 1
+
+_RUN_DIR_RE = re.compile(r"^(?P<fp>[0-9a-f]+)-(?P<n>\d+)$")
+
+
+def resolve_runs_dir(ensure: bool = False) -> Optional[Path]:
+    """The run-manifest root, or ``None`` when disabled.
+
+    ``$REPRO_RUNS_DIR`` overrides the default ``./runs``; an empty value
+    disables manifests.  With ``ensure=True`` the directory is created,
+    and an uncreatable directory degrades to ``None`` with a structured
+    warning instead of failing the run.
+    """
+    env = os.environ.get(RUNS_ENV)
+    if env is not None:
+        if not env.strip():
+            return None
+        path = Path(env)
+    else:
+        path = Path("runs")
+    if not ensure:
+        return path
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except OSError as err:
+        obs_metrics.warn_event(
+            "runs.dir_unusable",
+            f"runs directory unusable; skipping manifest: {err}",
+            logger=log,
+            dir=str(path),
+        )
+        return None
+    return path
+
+
+def new_run_dir(fingerprint: str, runs_dir: Optional[Path] = None) -> Optional[Path]:
+    """Create ``<runs>/<fp12>-<n>`` with the next free ``n`` (from 1)."""
+    root = runs_dir if runs_dir is not None else resolve_runs_dir(ensure=True)
+    if root is None:
+        return None
+    prefix = fingerprint[:12]
+    taken = []
+    if root.is_dir():
+        for entry in root.iterdir():
+            match = _RUN_DIR_RE.match(entry.name)
+            if match and match.group("fp") == prefix:
+                taken.append(int(match.group("n")))
+    serial = max(taken, default=0) + 1
+    while True:
+        candidate = root / f"{prefix}-{serial}"
+        try:
+            candidate.mkdir(parents=True, exist_ok=False)
+            return candidate
+        except FileExistsError:
+            serial += 1
+        except OSError as err:
+            obs_metrics.warn_event(
+                "runs.dir_unusable",
+                f"cannot create run directory; skipping manifest: {err}",
+                logger=log,
+                dir=str(candidate),
+            )
+            return None
+
+
+def _versions() -> Dict[str, Any]:
+    import numpy
+
+    try:  # late import: repro.__init__ imports layers that import us
+        from repro import __version__ as repro_version
+    except Exception:  # pragma: no cover - partial-init edge
+        repro_version = "unknown"
+    try:
+        from repro.engine.store import STORE_FORMAT_VERSION
+    except Exception:  # pragma: no cover - partial-init edge
+        STORE_FORMAT_VERSION = None
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "repro": repro_version,
+        "store_format": STORE_FORMAT_VERSION,
+    }
+
+
+def write_manifest(
+    *,
+    command: str,
+    fingerprint: str,
+    seed: Optional[int],
+    argv: Optional[List[str]] = None,
+    span: Optional[dict] = None,
+    metrics: Optional[Dict[str, dict]] = None,
+    exit_code: Optional[int] = None,
+    extra: Optional[Dict[str, Any]] = None,
+    runs_dir: Optional[Path] = None,
+) -> Optional[Path]:
+    """Write one run's manifest; returns its path, or ``None`` if disabled.
+
+    Also writes the Prometheus text export of the current global
+    metrics registry to ``metrics.prom`` in the same run directory.
+    Best-effort: any IO failure warns and returns ``None``.
+    """
+    run_dir = new_run_dir(fingerprint, runs_dir=runs_dir)
+    if run_dir is None:
+        return None
+    manifest = {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "command": command,
+        "argv": list(argv) if argv is not None else None,
+        "fingerprint": fingerprint,
+        "seed": seed,
+        "created_unix": time.time(),
+        "versions": _versions(),
+        "exit_code": exit_code,
+        "metrics": metrics if metrics is not None else obs_metrics.registry().snapshot(),
+        "span": span,
+        "span_coverage": None if span is None else round(obs_trace.coverage(span), 4),
+    }
+    if extra:
+        manifest.update(extra)
+    path = run_dir / "manifest.json"
+    try:
+        path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        (run_dir / "metrics.prom").write_text(
+            obs_metrics.registry().to_prometheus()
+        )
+    except OSError as err:
+        obs_metrics.warn_event(
+            "runs.write_failed",
+            f"could not write run manifest: {err}",
+            logger=log,
+            dir=str(run_dir),
+        )
+        return None
+    return path
+
+
+def load_manifest(path: Path) -> dict:
+    """Parse a manifest from a file or a run directory."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / "manifest.json"
+    return json.loads(path.read_text())
+
+
+def list_runs(runs_dir: Optional[Path] = None) -> List[Path]:
+    """Every run directory holding a manifest, oldest first."""
+    root = runs_dir if runs_dir is not None else resolve_runs_dir()
+    if root is None or not root.is_dir():
+        return []
+    runs = [
+        entry
+        for entry in root.iterdir()
+        if entry.is_dir() and (entry / "manifest.json").is_file()
+    ]
+    return sorted(runs, key=lambda p: (p / "manifest.json").stat().st_mtime)
+
+
+def find_run(token: str, runs_dir: Optional[Path] = None) -> Optional[Path]:
+    """Resolve a user-supplied run selector to a run directory.
+
+    Accepts ``latest``, a run directory name (``<fp12>-<n>``), a
+    fingerprint prefix (newest matching run wins), or a filesystem path.
+    """
+    candidate = Path(token)
+    if candidate.is_dir() and (candidate / "manifest.json").is_file():
+        return candidate
+    if candidate.is_file() and candidate.name == "manifest.json":
+        return candidate.parent
+    runs = list_runs(runs_dir)
+    if not runs:
+        return None
+    if token in ("latest", ""):
+        return runs[-1]
+    for run in reversed(runs):
+        if run.name == token or run.name.startswith(token):
+            return run
+    return None

@@ -11,7 +11,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.core.scenario import PaperScenario, ScenarioConfig
+from repro.core.scenario import ScenarioConfig
 from repro.core.stages import reset_scenario_engine
 from repro.engine.store import reset_default_store
 from repro.flows.generator import TrafficGenerator
@@ -30,23 +30,29 @@ def artifact_cache(tmp_path_factory):
     explicitly *empty* ``REPRO_CACHE_DIR`` is honoured as-is so the CI
     memory-only leg genuinely runs the suite without a disk cache.
     """
+    previous_runs = os.environ.get("REPRO_RUNS_DIR")
+    os.environ["REPRO_RUNS_DIR"] = str(tmp_path_factory.mktemp("repro-runs"))
+
     previous = os.environ.get("REPRO_CACHE_DIR")
     if previous == "":
         reset_default_store()
         reset_scenario_engine()
         yield None
+    else:
+        path = tmp_path_factory.mktemp("repro-cache")
+        os.environ["REPRO_CACHE_DIR"] = str(path)
         reset_default_store()
         reset_scenario_engine()
-        return
-    path = tmp_path_factory.mktemp("repro-cache")
-    os.environ["REPRO_CACHE_DIR"] = str(path)
-    reset_default_store()
-    reset_scenario_engine()
-    yield path
-    if previous is None:
-        os.environ.pop("REPRO_CACHE_DIR", None)
+        yield path
+        if previous is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = previous
+
+    if previous_runs is None:
+        os.environ.pop("REPRO_RUNS_DIR", None)
     else:
-        os.environ["REPRO_CACHE_DIR"] = previous
+        os.environ["REPRO_RUNS_DIR"] = previous_runs
     reset_default_store()
     reset_scenario_engine()
 
@@ -59,7 +65,9 @@ def rng():
 @pytest.fixture(scope="session")
 def small_scenario(artifact_cache):
     """The fast end-to-end scenario; treat as read-only."""
-    return PaperScenario(ScenarioConfig.small())
+    from repro.api import run_scenario
+
+    return run_scenario(ScenarioConfig.small()).scenario
 
 
 @pytest.fixture(scope="session")

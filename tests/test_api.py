@@ -1,0 +1,166 @@
+"""The public facade: acceptance imports, equivalence, deprecation shims."""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import (
+    BlockingResult,
+    DensityResult,
+    PredictionResult,
+    ScenarioRun,
+    density_test,
+    evaluate_blocking,
+    prediction_test,
+    run_scenario,
+)
+from repro.core.scenario import PaperScenario, ScenarioConfig
+
+
+def test_acceptance_import_line():
+    """The exact import line the issue promises must work."""
+    from repro.api import (  # noqa: F401
+        run_scenario,
+        density_test,
+        prediction_test,
+        evaluate_blocking,
+    )
+
+
+def test_top_level_reexports_facade_only():
+    assert repro.run_scenario is run_scenario
+    assert repro.density_test is density_test
+    assert repro.prediction_test is prediction_test
+    assert repro.evaluate_blocking is evaluate_blocking
+    assert repro.__version__ == "1.1.0"
+
+
+def test_run_scenario_returns_frozen_shared_handle(small_scenario):
+    run = run_scenario(small=True)
+    assert isinstance(run, ScenarioRun)
+    assert run.fingerprint == run.config.fingerprint()
+    assert run_scenario(small=True) == run  # same fingerprint, equal handle
+    assert run_scenario(small=True).scenario is run.scenario  # shared build
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        run.config = ScenarioConfig()
+
+
+def test_run_scenario_rejects_config_plus_small():
+    with pytest.raises(ValueError, match="not both"):
+        run_scenario(ScenarioConfig.small(), small=True)
+
+
+def test_run_scenario_seed_override():
+    run = run_scenario(small=True, seed=123)
+    assert run.config.seed == 123
+    assert run.config.fingerprint() != run_scenario(small=True).fingerprint
+
+
+def test_scenario_run_delegates_to_scenario(small_scenario):
+    run = run_scenario(small=True)
+    assert run.report("bot") is run.scenario.report("bot")
+    tags = {row["tag"] for row in run.table1_rows()}
+    assert {"bot", "control", "scan"} <= tags
+    assert run.partition is run.scenario.partition
+    with pytest.raises(AttributeError):
+        run.no_such_attribute
+
+
+def test_density_test_facade_matches_core(small_scenario):
+    """Facade-with-tags == core-with-reports under the same rng stream."""
+    from repro.core.density import density_test as core_density
+
+    run = run_scenario(small=True)
+    facade = density_test(run, "bot", subsets=50)
+    expected = core_density(
+        small_scenario.report("bot"),
+        small_scenario.report("control"),
+        np.random.default_rng(small_scenario.config.seed ^ 0xC1D),
+        subsets=50,
+    )
+    assert isinstance(facade, DensityResult)
+    assert facade.report_tag == expected.report_tag
+    assert facade.prefixes == expected.prefixes
+    assert facade.observed == expected.observed
+    assert facade.control == expected.control
+    assert facade.hypothesis_holds() == expected.hypothesis_holds()
+
+
+def test_density_test_accepts_every_scenario_form(small_scenario):
+    run = run_scenario(small=True)
+    by_run = density_test(run, "bot", subsets=20, seed=5)
+    by_config = density_test(ScenarioConfig.small(), "bot", subsets=20, seed=5)
+    by_scenario = density_test(run.scenario, "bot", subsets=20, seed=5)
+    assert by_run.observed == by_config.observed == by_scenario.observed
+    assert by_run.control == by_config.control == by_scenario.control
+    with pytest.raises(TypeError, match="expected a ScenarioRun"):
+        density_test(42, "bot")
+
+
+def test_rng_and_seed_are_mutually_exclusive(small_scenario):
+    run = run_scenario(small=True)
+    with pytest.raises(ValueError, match="rng or seed"):
+        density_test(run, "bot", rng=np.random.default_rng(0), seed=1)
+
+
+def test_prediction_test_facade(small_scenario):
+    run = run_scenario(small=True)
+    result = prediction_test(run, "bot-test", "bot", subsets=50)
+    assert isinstance(result, PredictionResult)
+    assert result.past_tag == "bot-test"
+    assert result.present_tag == "bot"
+    assert set(result.observed) == set(result.prefixes)
+    assert all(0.0 <= result.exceedance[n] <= 1.0 for n in result.prefixes)
+
+
+def test_evaluate_blocking_facade(small_scenario):
+    run = run_scenario(small=True)
+    result = evaluate_blocking(run)
+    assert isinstance(result, BlockingResult)
+    assert [row.prefix for row in result.rows] == list(range(24, 33))
+
+
+# -- deprecation shims ------------------------------------------------------
+
+
+def test_direct_scenario_construction_warns_once(small_scenario):
+    import repro.core.scenario as scenario_mod
+
+    old = scenario_mod._DIRECT_INIT_WARNED
+    scenario_mod._DIRECT_INIT_WARNED = False
+    try:
+        with pytest.warns(DeprecationWarning, match="repro.api.run_scenario"):
+            PaperScenario(ScenarioConfig.small())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second construction is silent
+            PaperScenario(ScenarioConfig.small())
+    finally:
+        scenario_mod._DIRECT_INIT_WARNED = old
+
+
+def test_legacy_top_level_names_warn_once():
+    repro._LEGACY_WARNED.discard("PaperScenario")
+    with pytest.warns(DeprecationWarning, match="top-level 'repro' package"):
+        assert repro.PaperScenario is PaperScenario
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert repro.PaperScenario is PaperScenario  # silent on repeat
+
+
+def test_experiments_common_shim_warns_and_shares_cache(small_scenario):
+    import repro.experiments.common as common
+
+    common._WARNED.discard("default_scenario")
+    with pytest.warns(DeprecationWarning, match="repro.api"):
+        legacy = common.default_scenario(ScenarioConfig.small())
+    assert legacy is run_scenario(small=True).scenario
+
+
+def test_unknown_top_level_name_raises():
+    with pytest.raises(AttributeError):
+        repro.definitely_not_a_name

@@ -1,0 +1,142 @@
+"""Run manifests: directory layout, schema, CLI integration golden."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import manifest, metrics, trace
+
+
+FP = "deadbeefcafe0123456789abcdef0123"
+
+
+@pytest.fixture
+def runs_dir(tmp_path, monkeypatch):
+    root = tmp_path / "runs"
+    monkeypatch.setenv(manifest.RUNS_ENV, str(root))
+    return root
+
+
+def test_resolve_runs_dir_env_and_disable(runs_dir, monkeypatch):
+    assert manifest.resolve_runs_dir() == runs_dir
+    assert not runs_dir.exists()
+    assert manifest.resolve_runs_dir(ensure=True) == runs_dir
+    assert runs_dir.is_dir()
+    monkeypatch.setenv(manifest.RUNS_ENV, "")
+    assert manifest.resolve_runs_dir() is None
+    assert manifest.resolve_runs_dir(ensure=True) is None
+
+
+def test_new_run_dir_serial_numbering(runs_dir):
+    first = manifest.new_run_dir(FP)
+    second = manifest.new_run_dir(FP)
+    other = manifest.new_run_dir("0123456789abcdef" + "0" * 16)
+    assert first.name == f"{FP[:12]}-1"
+    assert second.name == f"{FP[:12]}-2"
+    assert other.name == "0123456789ab-1"  # numbering is per-fingerprint
+
+
+def test_write_and_load_manifest(runs_dir):
+    previous = metrics.set_registry(metrics.MetricsRegistry())
+    try:
+        metrics.inc("store.get.miss", 3)
+        span = {"name": "cli.table2", "wall": 1.0, "cpu": 0.9, "attrs": {},
+                "children": [{"name": "work", "wall": 0.95, "cpu": 0.9,
+                              "attrs": {}, "children": []}]}
+        path = manifest.write_manifest(
+            command="table2", fingerprint=FP, seed=7,
+            argv=["table2", "--small"], span=span, exit_code=0,
+        )
+    finally:
+        metrics.set_registry(previous)
+
+    assert path == runs_dir / f"{FP[:12]}-1" / "manifest.json"
+    loaded = manifest.load_manifest(path.parent)  # dir form also works
+    assert loaded["schema"] == manifest.MANIFEST_SCHEMA_VERSION
+    assert loaded["command"] == "table2"
+    assert loaded["fingerprint"] == FP
+    assert loaded["seed"] == 7
+    assert loaded["argv"] == ["table2", "--small"]
+    assert loaded["exit_code"] == 0
+    assert loaded["span"]["name"] == "cli.table2"
+    assert loaded["span_coverage"] == pytest.approx(0.95)
+    assert loaded["metrics"]["store.get.miss"]["value"] == 3
+    assert set(loaded["versions"]) == {"python", "numpy", "repro", "store_format"}
+
+    prom = (path.parent / "metrics.prom").read_text()
+    assert "repro_store_get_miss 3" in prom
+
+
+def test_write_manifest_disabled_returns_none(monkeypatch):
+    monkeypatch.setenv(manifest.RUNS_ENV, "")
+    assert manifest.write_manifest(command="x", fingerprint=FP, seed=None) is None
+
+
+def test_find_run_selectors(runs_dir):
+    a = manifest.new_run_dir(FP)
+    (a / "manifest.json").write_text("{}")
+    b = manifest.new_run_dir(FP)
+    (b / "manifest.json").write_text("{}")
+    assert manifest.find_run("latest") == b
+    assert manifest.find_run("") == b
+    assert manifest.find_run(a.name) == a
+    assert manifest.find_run(FP[:6]) == b  # prefix resolves newest
+    assert manifest.find_run(str(a)) == a  # filesystem path
+    assert manifest.find_run("feedfacefeed") is None
+
+
+def test_cli_run_writes_manifest_golden(runs_dir, capsys):
+    """`uncleanliness table1 --small` leaves a complete, traceable record."""
+    code = main(["table1", "--small"])
+    assert code == 0
+
+    runs = manifest.list_runs()
+    assert len(runs) == 1
+    loaded = manifest.load_manifest(runs[0])
+    assert loaded["schema"] == 1
+    assert loaded["command"] == "table1"
+    assert loaded["argv"] == ["table1", "--small"]
+    assert loaded["exit_code"] == 0
+    assert loaded["seed"] == 7
+    assert len(loaded["fingerprint"]) == 32
+    assert runs[0].name.startswith(loaded["fingerprint"][:12])
+
+    # The span tree covers the run: the CLI root wraps scenario build,
+    # the experiment and rendering, and coverage stays high.
+    assert loaded["span"]["name"] == "cli.table1"
+    names = {child["name"] for child in loaded["span"]["children"]}
+    assert "experiment.table1" in names
+    assert loaded["span_coverage"] >= 0.8
+
+    # Metrics made it in, and the prometheus sidecar agrees.
+    assert any(name.startswith("store.get.") for name in loaded["metrics"])
+    assert (runs[0] / "metrics.prom").read_text().startswith("# TYPE repro_")
+
+    err = capsys.readouterr().err
+    assert f"[manifest: {runs[0] / 'manifest.json'}]" in err
+
+
+def test_cli_trace_renders_stored_manifest(runs_dir, capsys):
+    assert main(["table1", "--small"]) == 0
+    capsys.readouterr()
+    assert main(["trace", "latest"]) == 0
+    out = capsys.readouterr().out
+    assert "command:     table1" in out
+    assert "cli.table1" in out
+    assert "experiment.table1" in out
+
+
+def test_cli_trace_missing_run_fails(runs_dir, capsys):
+    assert main(["trace", "latest"]) == 1
+    assert "no recorded run matches" in capsys.readouterr().err
+
+
+def test_tracer_roots_do_not_accumulate_across_runs(runs_dir):
+    tracer = trace.tracer()
+    before = len(tracer.roots)
+    assert main(["table1", "--small"]) == 0
+    assert main(["table1", "--small"]) == 0
+    assert len(tracer.roots) == before
