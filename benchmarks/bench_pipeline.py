@@ -10,12 +10,13 @@ import numpy as np
 
 from repro.core import cidr as rcidr
 from repro.detect.scan import ScanDetector
+from repro.ipspace import cidr as icidr
 from repro.detect.spam import SpamDetector
 
 
 def test_block_count_kernel(benchmark, scenario):
     control = scenario.control
-    result = benchmark(lambda: rcidr.block_count(control, 24))
+    result = benchmark(lambda: icidr.block_count(control, 24))
     assert result > 0
 
 

@@ -14,7 +14,7 @@ Run:  python examples/virtual_blocking.py
 """
 
 from repro.api import run_scenario
-from repro.core import cidr as rcidr
+from repro.ipspace import cidr as icidr
 from repro.flows.record import TCPFlags
 
 
@@ -24,7 +24,7 @@ def main() -> None:
     print(f"October border capture: {len(flows)} flows, "
           f"{flows.unique_sources().size} distinct external sources")
     print(f"old bot report: {len(scenario.bot_test)} addresses "
-          f"({rcidr.block_count(scenario.bot_test, 24)} /24s) "
+          f"({icidr.block_count(scenario.bot_test, 24)} /24s) "
           f"from {scenario.bot_test.period[0]}")
     print()
 
@@ -57,7 +57,7 @@ def main() -> None:
     print()
 
     row24 = result.row(24)
-    blocked24 = rcidr.block_count(scenario.bot_test, 24)
+    blocked24 = icidr.block_count(scenario.bot_test, 24)
     print(f"at /24: {row24.tp_rate:.0%} of scored candidates are hostile "
           f"(paper: ~90%); {row24.tp_rate_assuming_unknown_hostile:.0%} "
           f"counting unknowns as hostile (paper: 97%)")

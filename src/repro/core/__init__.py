@@ -14,7 +14,9 @@ from repro.core.blocking import (
     BlockingResult,
     BlockingRow,
     CandidatePartition,
+    CoveredCountStatistic,
     blocking_test,
+    control_blocking_distribution,
     partition_candidates,
 )
 from repro.core.cidr import (
@@ -28,12 +30,14 @@ from repro.core.cidr import (
     members_of,
 )
 from repro.core.density import (
+    BlockCountStatistic,
     DensityResult,
     density_curve,
     density_test,
 )
 from repro.core.prediction import (
     BETTER_PREDICTOR_LEVEL,
+    IntersectionStatistic,
     PredictionResult,
     prediction_test,
 )
@@ -42,7 +46,12 @@ from repro.core.roc import ROCCurve, auc, roc_curve
 from repro.core.sampling import empirical_subsets, monte_carlo, naive_sample
 from repro.core.scenario import PaperScenario, ScenarioConfig
 from repro.core.stats import BoxplotSummary, exceedance_fraction, summarize
-from repro.core.tracking import TrackerConfig, UncleanlinessTracker
+from repro.core.tracking import (
+    ListCoverageStatistic,
+    TrackerConfig,
+    UncleanlinessTracker,
+)
+from repro.core.trials import TrialEnsemble, TrialStatistic, is_batched
 from repro.core.uncleanliness import (
     BlockScores,
     UncleanlinessScorer,
@@ -62,23 +71,30 @@ __all__ = [
     "intersection_counts",
     "members_of",
     "DensityResult",
+    "BlockCountStatistic",
     "density_curve",
     "density_test",
     "PredictionResult",
+    "IntersectionStatistic",
     "prediction_test",
     "BETTER_PREDICTOR_LEVEL",
     "BLOCKING_PREFIXES",
     "BlockingRow",
     "BlockingResult",
     "CandidatePartition",
+    "CoveredCountStatistic",
     "partition_candidates",
     "blocking_test",
+    "control_blocking_distribution",
     "UncleanlinessScorer",
     "BlockScores",
     "block_jaccard",
     "naive_sample",
     "empirical_subsets",
     "monte_carlo",
+    "TrialEnsemble",
+    "TrialStatistic",
+    "is_batched",
     "BoxplotSummary",
     "summarize",
     "exceedance_fraction",
@@ -91,4 +107,5 @@ __all__ = [
     "auc",
     "TrackerConfig",
     "UncleanlinessTracker",
+    "ListCoverageStatistic",
 ]

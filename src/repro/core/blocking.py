@@ -28,23 +28,28 @@ The result reproduces Table 3 and the ROC view of §6.2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core import cidr as rcidr
 from repro.core.report import DataClass, Report, ReportType
+from repro.core.stats import BoxplotSummary, summarize
+from repro.core.trials import TrialEnsemble
 from repro.flows.log import FlowLog
 from repro.flows.record import Protocol
 from repro.ipspace import cidr as _lowcidr
+from repro.ipspace.kernels import intersection_counts_2d, member_counts_2d
 
 __all__ = [
     "BLOCKING_PREFIXES",
     "CandidatePartition",
     "BlockingRow",
     "BlockingResult",
+    "CoveredCountStatistic",
     "partition_candidates",
     "blocking_test",
+    "control_blocking_distribution",
 ]
 
 #: §6 examines blocking at prefix lengths 24..32: "24 bits is the minimum
@@ -212,27 +217,148 @@ def blocking_test(
 
     Implements Eqs. 7-9: at each n, count the hostile (TP), innocent (FP)
     and combined (pop) candidates falling inside the blocked blocks;
-    unknowns are tallied separately and never scored.
+    unknowns are tallied separately and never scored.  All prefixes are
+    scored in one batched kernel pass per candidate class
+    (:func:`repro.ipspace.kernels.member_counts_2d`).
     """
-    rows = []
-    for n in sorted(prefixes):
-        blocks = rcidr.cidr_set(bot_test, n)
-        tp = int(
-            _lowcidr.contains(partition.hostile.addresses, blocks, n).sum()
+    prefixes = tuple(sorted(prefixes))
+    blocks_by_prefix = [rcidr.cidr_set(bot_test, n) for n in prefixes]
+
+    def scores(report: Report) -> np.ndarray:
+        return member_counts_2d(
+            report.addresses[np.newaxis, :], blocks_by_prefix, prefixes
+        )[0]
+
+    tp = scores(partition.hostile)
+    fp = scores(partition.innocent)
+    unknown = scores(partition.unknown)
+    rows = [
+        BlockingRow(
+            prefix=n,
+            true_positives=int(tp[column]),
+            false_positives=int(fp[column]),
+            population=int(tp[column] + fp[column]),
+            unknown=int(unknown[column]),
         )
-        fp = int(
-            _lowcidr.contains(partition.innocent.addresses, blocks, n).sum()
-        )
-        unknown = int(
-            _lowcidr.contains(partition.unknown.addresses, blocks, n).sum()
-        )
-        rows.append(
-            BlockingRow(
-                prefix=n,
-                true_positives=tp,
-                false_positives=fp,
-                population=tp + fp,
-                unknown=unknown,
-            )
-        )
+        for column, n in enumerate(prefixes)
+    ]
     return BlockingResult(rows=tuple(rows))
+
+
+@dataclass(frozen=True, eq=False)
+class CoveredCountStatistic:
+    """Per-prefix count of a fixed report's addresses covered by
+    :math:`C_n(\\text{subset})`.
+
+    The §6 null-model statistic (a :class:`~repro.core.trials.
+    TrialStatistic`): each trial subset plays the role of a random
+    "blocked report", and the statistic asks how many of the target
+    report's addresses its blocks would catch.  Target addresses are
+    pre-aggregated into ``(blocks, multiplicities)`` per prefix so the
+    batched evaluation is one weighted-intersection pass per prefix.
+    """
+
+    prefixes: Tuple[int, ...]
+    target_blocks: Tuple[np.ndarray, ...]
+    target_weights: Tuple[np.ndarray, ...]
+    target_tag: str = ""
+
+    @classmethod
+    def for_report(
+        cls, target: Report, prefixes: Sequence[int]
+    ) -> "CoveredCountStatistic":
+        prefixes = tuple(prefixes)
+        blocks, weights = [], []
+        for n in prefixes:
+            uniques, counts = np.unique(
+                _lowcidr.mask_array(target.addresses, n), return_counts=True
+            )
+            blocks.append(uniques)
+            weights.append(counts.astype(np.int64))
+        return cls(
+            prefixes=prefixes,
+            target_blocks=tuple(blocks),
+            target_weights=tuple(weights),
+            target_tag=target.tag,
+        )
+
+    def label(self) -> str:
+        joined = ",".join(str(n) for n in self.prefixes)
+        return f"covered-counts({joined})@{self.target_tag}"
+
+    def batch(self, ensemble: TrialEnsemble) -> np.ndarray:
+        return intersection_counts_2d(
+            ensemble.matrix,
+            self.target_blocks,
+            self.prefixes,
+            weights_by_prefix=self.target_weights,
+        )
+
+    def per_trial(self, subset: Report) -> List[int]:
+        values = []
+        for blocks, weights, n in zip(
+            self.target_blocks, self.target_weights, self.prefixes
+        ):
+            subset_blocks = rcidr.cidr_set(subset, n)
+            hit = np.isin(blocks, subset_blocks)
+            values.append(int(weights[hit].sum()))
+        return values
+
+
+def control_blocking_distribution(
+    partition: CandidatePartition,
+    bot_test: Report,
+    control: Report,
+    rng: np.random.Generator,
+    prefixes: Sequence[int] = BLOCKING_PREFIXES,
+    subsets: int = 1000,
+    workers: Optional[int] = None,
+) -> Dict[str, Dict[int, BoxplotSummary]]:
+    """The §6 null model: would a *random* report block as much?
+
+    Draws ``subsets`` equal-cardinality random subsets of ``control``
+    (the same Monte-Carlo machinery as §4/§5) and scores each subset's
+    virtual block against the partition's hostile and innocent
+    candidates.  Returns ``{"hostile"|"innocent": {n: BoxplotSummary}}``
+    — the distribution the observed TP(n)/FP(n) of
+    :func:`blocking_test` should tower over (hostile) or resemble
+    (innocent) if the old bot report's blocks carry real signal.
+    """
+    size = len(bot_test)
+    out: Dict[str, Dict[int, BoxplotSummary]] = {}
+    prefixes = tuple(sorted(prefixes))
+    for name, target in (
+        ("hostile", partition.hostile),
+        ("innocent", partition.innocent),
+    ):
+        matrix = monte_carlo_covered_counts(
+            target, control, size, subsets, rng, prefixes, workers=workers
+        )
+        out[name] = {
+            n: summarize(matrix[:, column])
+            for column, n in enumerate(prefixes)
+        }
+    return out
+
+
+def monte_carlo_covered_counts(
+    target: Report,
+    control: Report,
+    size: int,
+    subsets: int,
+    rng: np.random.Generator,
+    prefixes: Sequence[int],
+    workers: Optional[int] = None,
+) -> np.ndarray:
+    """Monte-Carlo matrix of covered-address counts (one helper so the
+    two §6 null distributions share code with any future targets)."""
+    from repro.core.sampling import monte_carlo
+
+    return monte_carlo(
+        control,
+        size,
+        subsets,
+        rng,
+        statistic=CoveredCountStatistic.for_report(target, prefixes),
+        workers=workers,
+    )

@@ -3,10 +3,16 @@
 Implements the paper's notation on whole reports: the set-valued masking
 function :math:`C_n(S)` (Eq. 1), the inclusion relation (Eq. 2), and block
 intersection counts (the quantity inside Eqs. 4 and 5).
+
+The scalar block counter lives canonically in
+:mod:`repro.ipspace.cidr` (which accepts reports directly);
+:func:`block_count` here is a deprecated alias kept for old imports and
+warns once per process.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, Sequence
 
 import numpy as np
@@ -43,14 +49,33 @@ def cidr_blocks(report: Report, prefix_len: int) -> list:
     return [CIDRBlock(int(net), prefix_len) for net in cidr_set(report, prefix_len)]
 
 
+_WARNED = set()
+
+
+def _warn_moved(name: str, replacement: str) -> None:
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"repro.core.cidr.{name} is deprecated; use {replacement} "
+        f"(the canonical implementation, which accepts reports directly)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def block_count(report: Report, prefix_len: int) -> int:
-    """:math:`|C_n(\\mathcal{R})|`."""
-    return int(cidr_set(report, prefix_len).size)
+    """:math:`|C_n(\\mathcal{R})|`.
+
+    Deprecated alias of :func:`repro.ipspace.cidr.block_count`.
+    """
+    _warn_moved("block_count", "repro.ipspace.cidr.block_count")
+    return _cidr.block_count(report, prefix_len)
 
 
 def block_counts(report: Report, prefixes: Iterable[int] = PREFIX_RANGE) -> Dict[int, int]:
     """:math:`|C_n(\\mathcal{R})|` for each prefix length in ``prefixes``."""
-    return {n: block_count(report, n) for n in prefixes}
+    return {n: _cidr.block_count(report, n) for n in prefixes}
 
 
 def intersection_count(past: Report, present: Report, prefix_len: int) -> int:

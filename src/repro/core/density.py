@@ -15,8 +15,7 @@ estimate that Figure 2 shows to be badly over-dispersed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,9 +23,13 @@ from repro.core import cidr as rcidr
 from repro.core.report import Report
 from repro.core.sampling import monte_carlo, naive_sample
 from repro.core.stats import BoxplotSummary, summarize
+from repro.core.trials import TrialEnsemble
+from repro.ipspace import cidr as _cidr
+from repro.ipspace.kernels import block_counts_2d
 
 __all__ = [
     "DensityResult",
+    "BlockCountStatistic",
     "density_curve",
     "control_density_distribution",
     "naive_density_distribution",
@@ -108,12 +111,34 @@ def density_curve(report: Report, prefixes: Iterable[int] = rcidr.PREFIX_RANGE) 
 
 
 def _block_count_vector(report: Report, prefixes: Sequence[int]) -> List[int]:
-    """Per-prefix block counts — the Monte-Carlo statistic of Figs. 2-3.
+    """Per-prefix block counts — the per-trial reference statistic of
+    Figs. 2-3 (the batched path is :class:`BlockCountStatistic`).
 
     Module-level (not a closure) so the parallel ``monte_carlo`` path can
     pickle it into worker processes.
     """
-    return [rcidr.block_count(report, n) for n in prefixes]
+    return [_cidr.block_count(report, n) for n in prefixes]
+
+
+@dataclass(frozen=True)
+class BlockCountStatistic:
+    """The Figure 2/3 Monte-Carlo statistic: :math:`|C_n(S)|` per prefix.
+
+    Implements the :class:`~repro.core.trials.TrialStatistic` protocol;
+    ``batch`` evaluates a whole trial ensemble in
+    ``len(prefixes)`` masked passes over one matrix.
+    """
+
+    prefixes: Tuple[int, ...]
+
+    def label(self) -> str:
+        return "block-counts(" + ",".join(str(n) for n in self.prefixes) + ")"
+
+    def batch(self, ensemble: TrialEnsemble) -> np.ndarray:
+        return block_counts_2d(ensemble.matrix, self.prefixes)
+
+    def per_trial(self, subset: Report) -> List[int]:
+        return _block_count_vector(subset, self.prefixes)
 
 
 def control_density_distribution(
@@ -126,7 +151,10 @@ def control_density_distribution(
 ) -> Dict[int, np.ndarray]:
     """Monte-Carlo block-count distributions over random control subsets.
 
-    Returns ``{n: array of |C_n(subset)| over all subsets}``.
+    Returns ``{n: array of |C_n(subset)| over all subsets}``.  Runs on
+    the batched trial-matrix path; values are bit-identical to the
+    per-trial reference (:func:`_block_count_vector` under
+    :func:`~repro.core.sampling.monte_carlo`).
     """
     prefixes = tuple(prefixes)
     matrix = monte_carlo(
@@ -134,7 +162,7 @@ def control_density_distribution(
         size,
         subsets,
         rng,
-        statistic=partial(_block_count_vector, prefixes=prefixes),
+        statistic=BlockCountStatistic(prefixes),
         workers=workers,
     )
     return {n: matrix[:, column] for column, n in enumerate(prefixes)}
@@ -146,13 +174,22 @@ def naive_density_distribution(
     subsets: int,
     rng: np.random.Generator,
 ) -> Dict[int, np.ndarray]:
-    """Monte-Carlo block-count distributions for the naive IANA estimate."""
-    counts: Dict[int, list] = {n: [] for n in prefixes}
-    for _ in range(subsets):
-        sample = naive_sample(size, rng)
-        for n in prefixes:
-            counts[n].append(rcidr.block_count(sample, n))
-    return {n: np.asarray(values, dtype=float) for n, values in counts.items()}
+    """Monte-Carlo block-count distributions for the naive IANA estimate.
+
+    The rejection-sampled draws stay per-trial (they consume a
+    data-dependent number of variates), but the samples stack into one
+    trial matrix so the block counting is a single batched pass.
+    """
+    prefixes = tuple(prefixes)
+    matrix = np.empty((subsets, size), dtype=np.uint32)
+    for index in range(subsets):
+        # Report construction already sorted and deduplicated the draw.
+        matrix[index] = naive_sample(size, rng).addresses
+    counts = block_counts_2d(matrix, prefixes)
+    return {
+        n: counts[:, column].astype(float)
+        for column, n in enumerate(prefixes)
+    }
 
 
 def density_test(

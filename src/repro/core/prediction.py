@@ -14,8 +14,8 @@ random control draws (§5.2).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -24,10 +24,13 @@ from repro.core import cidr as rcidr
 from repro.core.report import Report
 from repro.core.sampling import monte_carlo
 from repro.core.stats import BoxplotSummary, exceedance_fraction, summarize
+from repro.core.trials import TrialEnsemble
+from repro.ipspace.kernels import intersection_counts_2d
 
 __all__ = [
     "BETTER_PREDICTOR_LEVEL",
     "PredictionResult",
+    "IntersectionStatistic",
     "prediction_test",
 ]
 
@@ -104,7 +107,8 @@ def _intersection_vector(
     prefixes: Tuple[int, ...],
 ) -> List[int]:
     """Per-prefix block intersections with the (precomputed) present
-    report — the Monte-Carlo statistic of Figs. 4-5.
+    report — the per-trial reference statistic of Figs. 4-5 (the batched
+    path is :class:`IntersectionStatistic`).
 
     Module-level (not a closure) so the parallel ``monte_carlo`` path can
     pickle it into worker processes.
@@ -114,6 +118,37 @@ def _intersection_vector(
         subset_blocks = rcidr.cidr_set(subset, n)
         values.append(int(np.intersect1d(subset_blocks, blocks).size))
     return values
+
+
+@dataclass(frozen=True, eq=False)
+class IntersectionStatistic:
+    """The Figure 4/5 Monte-Carlo statistic:
+    :math:`|C_n(S) \\cap C_n(R_{present})|` per prefix.
+
+    Implements the :class:`~repro.core.trials.TrialStatistic` protocol
+    against precomputed present-report block sets; ``batch`` evaluates a
+    whole trial ensemble with one searchsorted pass per prefix.
+    """
+
+    prefixes: Tuple[int, ...]
+    present_blocks: Tuple[np.ndarray, ...]
+
+    def label(self) -> str:
+        # The block sets parametrise the statistic just as much as the
+        # prefixes do, so their content keys the checkpoint label.
+        digest = hashlib.sha256()
+        for blocks in self.present_blocks:
+            digest.update(np.ascontiguousarray(blocks).tobytes())
+        joined = ",".join(str(n) for n in self.prefixes)
+        return f"intersections({joined})-{digest.hexdigest()[:12]}"
+
+    def batch(self, ensemble: TrialEnsemble) -> np.ndarray:
+        return intersection_counts_2d(
+            ensemble.matrix, self.present_blocks, self.prefixes
+        )
+
+    def per_trial(self, subset: Report) -> List[int]:
+        return _intersection_vector(subset, self.present_blocks, self.prefixes)
 
 
 def prediction_test(
@@ -150,10 +185,8 @@ def prediction_test(
         size,
         subsets,
         rng,
-        statistic=partial(
-            _intersection_vector,
-            present_blocks=present_blocks,
-            prefixes=prefixes,
+        statistic=IntersectionStatistic(
+            prefixes=prefixes, present_blocks=present_blocks
         ),
         workers=workers,
     )

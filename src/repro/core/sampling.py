@@ -21,6 +21,16 @@ worker count**; ``workers=1`` (the default, overridable through
 ``$REPRO_WORKERS`` or the CLI ``--workers`` flag) simply runs the same
 per-trial streams in-process.
 
+Statistics come in two shapes.  A plain callable (``Report -> value``)
+is the retained per-trial reference path: one ``Report`` per trial, one
+call per trial.  A :class:`~repro.core.trials.TrialStatistic` — an
+object with ``batch``/``per_trial``/``label`` — takes the trial-matrix
+path: each chunk of trials is drawn as one
+:class:`~repro.core.trials.TrialEnsemble` and evaluated in a few numpy
+passes (:mod:`repro.ipspace.kernels`).  Because ensemble rows are the
+sorted per-trial draws from the same spawned streams, both paths return
+bit-identical arrays; the batched one is ~20-30x faster at paper scale.
+
 The parallel path is **supervised**: a chunk that raises or times out
 is retried on a fresh pool, a dead worker (``BrokenProcessPool``) drops
 the run to serial execution of only the missing trial ranges, and
@@ -46,6 +56,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.core.report import DataClass, Report, ReportType
+from repro.core.trials import TrialEnsemble, is_batched, trial_seed
 from repro.ipspace.iana import allocated_octets
 from repro.ipspace.reserved import reserved_mask
 from repro.obs import metrics as obs_metrics
@@ -59,6 +70,7 @@ __all__ = [
     "MonteCarloFailure",
     "resolve_workers",
     "trial_seed",
+    "TrialEnsemble",
 ]
 
 log = logging.getLogger("repro.engine.sampling")
@@ -162,21 +174,6 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return workers
 
 
-def trial_seed(
-    entropy: int, spawn_key: Tuple[int, ...], index: int
-) -> np.random.SeedSequence:
-    """Child ``index`` of the root sequence, built without materialising
-    every sibling.
-
-    ``SeedSequence(entropy, spawn_key=parent_key + (i,))`` is exactly the
-    ``i``-th element of ``parent.spawn(n)`` — this is how workers derive
-    their trials' streams independently.
-    """
-    return np.random.SeedSequence(
-        entropy=entropy, spawn_key=tuple(spawn_key) + (index,)
-    )
-
-
 def _run_trials(
     control: Report,
     size: int,
@@ -186,12 +183,8 @@ def _run_trials(
     spawn_key: Tuple[int, ...],
     statistic: Callable[[Report], object],
 ) -> List[object]:
-    """Evaluate trials ``start..stop`` (one spawned stream per trial)."""
-    from repro.engine import faults
-
-    faults.check("worker.crash")
-    faults.check("worker.fail")
-    faults.check("worker.slow")
+    """Per-trial reference: evaluate trials ``start..stop`` one ``Report``
+    at a time (one spawned stream per trial)."""
     values = []
     for index in range(start, stop):
         rng = np.random.default_rng(trial_seed(entropy, spawn_key, index))
@@ -200,17 +193,49 @@ def _run_trials(
     return values
 
 
-def _run_trials_traced(
+def _run_chunk(
     control: Report,
     size: int,
     start: int,
     stop: int,
     entropy: int,
     spawn_key: Tuple[int, ...],
-    statistic: Callable[[Report], object],
+    statistic: Callable,
+) -> np.ndarray:
+    """One chunk of trials as a float array, batched when possible.
+
+    A :class:`~repro.core.trials.TrialStatistic` evaluates the whole
+    chunk as one :class:`TrialEnsemble`; a plain callable falls back to
+    the per-trial reference loop.  Fault-injection sites fire here so
+    both paths are supervised identically.
+    """
+    from repro.engine import faults
+
+    faults.check("worker.crash")
+    faults.check("worker.fail")
+    faults.check("worker.slow")
+    if is_batched(statistic):
+        ensemble = TrialEnsemble.draw(
+            control, size, stop - start, entropy, spawn_key, start=start
+        )
+        return np.asarray(statistic.batch(ensemble), dtype=float)
+    return np.asarray(
+        _run_trials(control, size, start, stop, entropy, spawn_key, statistic),
+        dtype=float,
+    )
+
+
+def _run_chunk_traced(
+    control: Report,
+    size: int,
+    start: int,
+    stop: int,
+    entropy: int,
+    spawn_key: Tuple[int, ...],
+    statistic: Callable,
     traced: bool = False,
-) -> Tuple[List[object], Optional[dict]]:
-    """:func:`_run_trials` plus an optional serialised worker span.
+) -> Tuple[np.ndarray, Optional[dict]]:
+    """:func:`_run_chunk` plus an optional serialised worker span.
 
     Worker processes cannot share the supervisor's tracer, so when
     ``traced`` each chunk times itself in a private tracer and ships the
@@ -219,32 +244,55 @@ def _run_trials_traced(
     """
     if not traced:
         return (
-            _run_trials(control, size, start, stop, entropy, spawn_key, statistic),
+            _run_chunk(control, size, start, stop, entropy, spawn_key, statistic),
             None,
         )
     worker_tracer = obs_trace.Tracer(enabled=True)
     with worker_tracer.span(
-        "mc.chunk", start=start, stop=stop, pid=os.getpid()
+        "mc.chunk",
+        start=start,
+        stop=stop,
+        pid=os.getpid(),
+        batched=is_batched(statistic),
     ):
-        values = _run_trials(
+        values = _run_chunk(
             control, size, start, stop, entropy, spawn_key, statistic
         )
     return values, worker_tracer.roots[-1].to_dict()
 
 
+def _sanitized_name(name: str) -> str:
+    """``name`` with a short raw-name hash appended (checkpoint key part).
+
+    Sanitising alone is lossy — ``f(x)`` and ``f.x.`` both sanitise to
+    ``f.x.`` — so the digest of the *raw* name keeps differently named
+    statistics on different checkpoint keys.
+    """
+    sanitized = "".join(
+        ch if ch.isalnum() or ch in "._-" else "." for ch in name
+    )
+    digest = hashlib.sha256(name.encode("utf-8")).hexdigest()[:8]
+    return f"{sanitized}-{digest}"
+
+
 def _statistic_tag(statistic: Callable) -> str:
     """A deterministic label for ``statistic`` (checkpoint key part).
 
-    Partials hash their bound arguments so two parametrisations of the
-    same function (e.g. different prefix tuples) never share a key.
+    Batched statistics provide their own parameter-bearing ``label()``;
+    partials hash their bound arguments; either way two parametrisations
+    of the same function never share a key, and the raw-name hash in
+    :func:`_sanitized_name` keeps sanitisation collisions apart.
     """
+    label = getattr(statistic, "label", None)
+    if callable(label):
+        return _sanitized_name(str(label()))
     if isinstance(statistic, functools.partial):
         inner = _statistic_tag(statistic.func)
         bound = repr(statistic.args) + repr(sorted(statistic.keywords.items()))
         digest = hashlib.sha256(bound.encode("utf-8")).hexdigest()[:12]
         return f"{inner}-{digest}"
     name = getattr(statistic, "__qualname__", None) or type(statistic).__name__
-    return "".join(ch if ch.isalnum() or ch in "._-" else "." for ch in name)
+    return _sanitized_name(name)
 
 
 def _mc_spans(count: int, workers: int, chunk_size: Optional[int]) -> List[Tuple[int, int]]:
@@ -315,20 +363,25 @@ def monte_carlo(
     root = np.random.SeedSequence(int.from_bytes(rng.bytes(16), "little"))
     entropy, spawn_key = root.entropy, root.spawn_key
 
+    batched = is_batched(statistic)
     obs_metrics.inc("mc.trials", count)
     obs_metrics.inc("mc.streams", count)  # one spawned rng stream per trial
+    if batched:
+        obs_metrics.inc("mc.batched_trials", count)
     with obs_trace.span(
         "monte_carlo",
         trials=count,
         workers=workers,
+        batched=batched,
         entropy=f"{entropy:032x}",
     ):
         if workers == 1 or count == 1:
-            with obs_trace.span("mc.chunk", start=0, stop=count):
-                values = _run_trials(
+            with obs_trace.span(
+                "mc.chunk", start=0, stop=count, batched=batched
+            ):
+                return _run_chunk(
                     control, size, 0, count, entropy, spawn_key, statistic
                 )
-            return np.asarray(values, dtype=float)
         return _supervised_monte_carlo(
             control, size, count, entropy, spawn_key, statistic,
             workers=workers, chunk_size=chunk_size, checkpoint=checkpoint,
@@ -389,7 +442,7 @@ def _supervised_monte_carlo(
         try:
             futures = {
                 pool.submit(
-                    _run_trials_traced,
+                    _run_chunk_traced,
                     control, size, lo, hi, entropy, spawn_key, statistic,
                     traced,
                 ): (lo, hi)
@@ -439,7 +492,7 @@ def _supervised_monte_carlo(
         )
         for lo, hi in pending:
             try:
-                values = _run_trials(
+                values = _run_chunk(
                     control, size, lo, hi, entropy, spawn_key, statistic
                 )
             except Exception as err:
@@ -447,7 +500,7 @@ def _supervised_monte_carlo(
                     f"trials {lo}..{hi} failed in parallel workers and in "
                     f"the serial fallback"
                 ) from err
-            results[(lo, hi)] = np.asarray(values, dtype=float)
+            results[(lo, hi)] = values
 
     out = np.concatenate([results[span] for span in spans], axis=0)
     if store is not None:

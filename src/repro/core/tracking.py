@@ -12,15 +12,52 @@ scorer (§7 metric) and TTL blocklist.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.core.blocklist import Blocklist
 from repro.core.report import Report
+from repro.core.stats import exceedance_fraction, summarize
+from repro.core.trials import TrialEnsemble
 from repro.core.uncleanliness import UncleanlinessScorer
+from repro.ipspace.kernels import member_counts_2d
 
-__all__ = ["TrackerConfig", "UncleanlinessTracker"]
+__all__ = ["TrackerConfig", "UncleanlinessTracker", "ListCoverageStatistic"]
+
+
+@dataclass(frozen=True, eq=False)
+class ListCoverageStatistic:
+    """How many of a trial subset's addresses an active blocklist covers.
+
+    A :class:`~repro.core.trials.TrialStatistic` over the tracker's
+    active networks: the Monte-Carlo null for
+    :meth:`UncleanlinessTracker.evaluate` — the coverage the list would
+    achieve against *random* equal-cardinality addresses rather than the
+    period's hostile population.
+    """
+
+    prefix_len: int
+    networks: np.ndarray  # sorted active /n networks on the evaluation day
+
+    def label(self) -> str:
+        return (
+            f"list-coverage(/{self.prefix_len})-"
+            f"{self.networks.size}nets"
+        )
+
+    def batch(self, ensemble: TrialEnsemble) -> np.ndarray:
+        return member_counts_2d(
+            ensemble.matrix, (self.networks,), (self.prefix_len,)
+        )
+
+    def per_trial(self, subset: Report) -> Tuple[int]:
+        from repro.ipspace import cidr as _lowcidr
+
+        covered = _lowcidr.contains(
+            subset.addresses, self.networks, self.prefix_len
+        )
+        return (int(covered.sum()),)
 
 
 @dataclass(frozen=True)
@@ -101,12 +138,31 @@ class UncleanlinessTracker:
         self.history.append(snapshot)
         return snapshot
 
-    def evaluate(self, day: int, hostile: Report, benign: Optional[Report] = None) -> dict:
+    def evaluate(
+        self,
+        day: int,
+        hostile: Report,
+        benign: Optional[Report] = None,
+        control: Optional[Report] = None,
+        rng: Optional[np.random.Generator] = None,
+        subsets: int = 1000,
+        workers: Optional[int] = None,
+    ) -> dict:
         """Score the current list against ground truth on ``day``.
 
         Returns the hostile coverage (recall) and, when a benign
         population is supplied, the collateral rate (fraction of benign
         addresses the list would drop).
+
+        When ``control`` is supplied (``rng`` then required), also runs
+        the Monte-Carlo null of §4/§5 against the *current list*: the
+        coverage the active blocks achieve over ``subsets`` random
+        control subsets of hostile cardinality.  Adds
+        ``control_coverage`` (a :class:`~repro.core.stats.
+        BoxplotSummary` of per-subset coverage fractions) and
+        ``coverage_exceedance`` (the fraction of control subsets the
+        hostile coverage beats — the tracker is doing real work when
+        this is near 1).
         """
         result = {
             "day": day,
@@ -117,7 +173,43 @@ class UncleanlinessTracker:
             result["benign_collateral"] = round(
                 self.blocklist.coverage(benign, day), 4
             )
+        if control is not None:
+            if rng is None:
+                raise ValueError("control evaluation requires an explicit rng")
+            matrix = self.control_coverage_matrix(
+                day, len(hostile), control, rng, subsets=subsets, workers=workers
+            )
+            fractions = matrix[:, 0] / max(len(hostile), 1)
+            result["control_coverage"] = summarize(fractions)
+            result["coverage_exceedance"] = round(
+                exceedance_fraction(result["hostile_coverage"], fractions), 4
+            )
         return result
+
+    def control_coverage_matrix(
+        self,
+        day: int,
+        size: int,
+        control: Report,
+        rng: np.random.Generator,
+        subsets: int = 1000,
+        workers: Optional[int] = None,
+    ) -> np.ndarray:
+        """Monte-Carlo matrix of covered-address counts for the active list.
+
+        One column (the list's single prefix length); ``subsets`` rows.
+        Runs on the batched trial-matrix path via
+        :class:`ListCoverageStatistic`.
+        """
+        from repro.core.sampling import monte_carlo
+
+        statistic = ListCoverageStatistic(
+            prefix_len=self.config.prefix_len,
+            networks=self.blocklist.active_networks(day),
+        )
+        return monte_carlo(
+            control, size, subsets, rng, statistic=statistic, workers=workers
+        )
 
     def series(self) -> List[dict]:
         """All update snapshots, oldest first."""

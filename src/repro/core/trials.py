@@ -1,0 +1,186 @@
+"""Trial matrices: the batched representation of Monte-Carlo ensembles.
+
+Every hypothesis test in the paper reduces to the same procedure: draw
+1000 equal-cardinality random subsets of the control report and evaluate
+a block-level statistic on each (§4.2, §5.2).  A
+:class:`TrialEnsemble` holds such an ensemble as one
+``(trials, cardinality)`` ``uint32`` matrix with sorted rows, so the
+statistic can run as a few full-matrix numpy passes
+(:mod:`repro.ipspace.kernels`) instead of 1000 ``Report`` objects and a
+Python callback per trial.
+
+Determinism contract: trial ``i`` of an ensemble rooted at
+``(entropy, spawn_key)`` is drawn from its own spawned
+:class:`numpy.random.SeedSequence` child — exactly the stream the
+per-trial path uses — and each trial's draw is a single
+``Generator.choice(addresses, size, replace=False)`` call on that
+stream.  Row ``i`` is therefore the *sorted* form of the identical
+per-trial sample: batched statistics are bit-identical to the per-trial
+reference, any contiguous slice of trials can be drawn independently by
+any worker, and the draws themselves (numpy's O(size) Floyd sampling
+per stream) are the only per-trial work left.
+
+:class:`TrialStatistic` is the protocol the statistical layers
+(:mod:`repro.core.density`, :mod:`repro.core.prediction`,
+:mod:`repro.core.blocking`, :mod:`repro.core.tracking`) implement to
+plug into :func:`repro.core.sampling.monte_carlo`: a batched ``batch``
+evaluation, a per-trial ``per_trial`` reference (kept for equivalence
+tests), and a deterministic ``label`` for checkpoint keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.report import DataClass, Report, ReportType
+
+try:  # Protocol is typing-only; runtime dispatch uses hasattr("batch").
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - python < 3.8
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+__all__ = ["TrialEnsemble", "TrialStatistic", "trial_seed", "is_batched"]
+
+
+def trial_seed(
+    entropy: int, spawn_key: Tuple[int, ...], index: int
+) -> np.random.SeedSequence:
+    """Child ``index`` of the root sequence, built without materialising
+    every sibling.
+
+    ``SeedSequence(entropy, spawn_key=parent_key + (i,))`` is exactly the
+    ``i``-th element of ``parent.spawn(n)`` — this is how workers derive
+    their trials' streams independently.
+    """
+    return np.random.SeedSequence(
+        entropy=entropy, spawn_key=tuple(spawn_key) + (index,)
+    )
+
+
+@runtime_checkable
+class TrialStatistic(Protocol):
+    """A statistic evaluable over a whole :class:`TrialEnsemble` at once.
+
+    ``batch`` returns a ``(trials, k)`` array (one row per trial, one
+    column per output component); ``per_trial`` is the retained scalar
+    reference — it must return the same ``k`` values ``batch`` produces
+    for that trial's row, and is what the hypothesis equivalence tests
+    compare against; ``label`` is a deterministic string identifying the
+    statistic *and its parameters* (it keys Monte-Carlo checkpoints).
+    """
+
+    def label(self) -> str:  # pragma: no cover - protocol
+        ...
+
+    def batch(self, ensemble: "TrialEnsemble") -> np.ndarray:  # pragma: no cover
+        ...
+
+    def per_trial(self, subset: Report) -> Sequence[float]:  # pragma: no cover
+        ...
+
+
+def is_batched(statistic: object) -> bool:
+    """Whether ``monte_carlo`` should take the trial-matrix path."""
+    return callable(getattr(statistic, "batch", None))
+
+
+@dataclass(frozen=True)
+class TrialEnsemble:
+    """A contiguous span of Monte-Carlo trials as one sorted matrix.
+
+    Attributes
+    ----------
+    matrix:
+        ``(trials, cardinality)`` ``uint32``, each row sorted ascending —
+        trial ``start + i``'s control subset as row ``i``.
+    start:
+        Global index of the first trial (ensembles are drawn in chunks).
+    source_tag:
+        Tag of the control report the trials were drawn from.
+    """
+
+    matrix: np.ndarray
+    start: int = 0
+    source_tag: str = "control"
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix)
+        if matrix.ndim != 2:
+            raise ValueError(
+                f"trial matrix must be 2-D, got shape {matrix.shape}"
+            )
+        if matrix.dtype != np.uint32:
+            matrix = matrix.astype(np.uint32)
+        matrix = np.ascontiguousarray(matrix)
+        matrix.setflags(write=False)
+        object.__setattr__(self, "matrix", matrix)
+
+    @classmethod
+    def draw(
+        cls,
+        control: Report,
+        size: int,
+        count: int,
+        entropy: int,
+        spawn_key: Tuple[int, ...],
+        start: int = 0,
+    ) -> "TrialEnsemble":
+        """Draw trials ``start .. start+count`` as one matrix.
+
+        Trial ``start + i`` consumes exactly the draw the per-trial path
+        makes — one ``choice(addresses, size, replace=False)`` on its
+        spawned stream — so the rows are the sorted per-trial samples,
+        bit for bit, for any chunking of the ensemble.
+        """
+        if size > len(control):
+            raise ValueError(
+                f"cannot sample {size} addresses from report of {len(control)}"
+            )
+        matrix = np.empty((count, size), dtype=np.uint32)
+        addresses = control.addresses
+        for offset in range(count):
+            rng = np.random.default_rng(
+                trial_seed(entropy, spawn_key, start + offset)
+            )
+            matrix[offset] = rng.choice(addresses, size=size, replace=False)
+        matrix.sort(axis=1)
+        return cls(matrix=matrix, start=start, source_tag=control.tag)
+
+    @property
+    def trials(self) -> int:
+        """Number of trials in this span."""
+        return int(self.matrix.shape[0])
+
+    @property
+    def cardinality(self) -> int:
+        """Addresses per trial (the paper's equal-cardinality condition)."""
+        return int(self.matrix.shape[1])
+
+    def __len__(self) -> int:
+        return self.trials
+
+    def trial(self, index: int) -> Report:
+        """Trial ``start + index`` as a :class:`Report` — the object the
+        per-trial path would have built (same addresses, same tag)."""
+        if not 0 <= index < self.trials:
+            raise IndexError(f"trial index out of range: {index}")
+        return Report(
+            tag=f"{self.source_tag}[{self.start + index}]",
+            addresses=self.matrix[index],
+            report_type=ReportType.OBSERVED,
+            data_class=DataClass.NONE,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TrialEnsemble(trials={self.trials}, "
+            f"cardinality={self.cardinality}, start={self.start}, "
+            f"source={self.source_tag!r})"
+        )

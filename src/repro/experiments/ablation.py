@@ -34,6 +34,7 @@ from repro.core.prediction import prediction_test
 from repro.core.sampling import naive_sample
 from repro.core.scenario import PaperScenario, ScenarioConfig
 from repro.core import cidr as rcidr
+from repro.ipspace import cidr as icidr
 from repro.experiments.common import render_table
 
 __all__ = [
@@ -156,9 +157,9 @@ def estimator_ablation(
     naive = naive_sample(size, rng)
     rows = []
     for n in prefixes:
-        observed = rcidr.block_count(scenario.bot, n)
-        emp = rcidr.block_count(empirical, n)
-        nai = rcidr.block_count(naive, n)
+        observed = icidr.block_count(scenario.bot, n)
+        emp = icidr.block_count(empirical, n)
+        nai = icidr.block_count(naive, n)
         rows.append(
             {
                 "prefix": n,
@@ -283,7 +284,7 @@ def clustering_ablation(
     rows = []
     # Homogeneous /24 baseline (the paper's choice).
     control_counts = [
-        rcidr.block_count(subset, 24)
+        icidr.block_count(subset, 24)
         for subset in _control_subsets(scenario, size, subsets, rng)
     ]
     rows.append(
@@ -291,9 +292,9 @@ def clustering_ablation(
             "partitioning": "/24 blocks",
             "partitions": "-",
             "size_spread": "1x",
-            "bot_partitions": rcidr.block_count(scenario.bot, 24),
+            "bot_partitions": icidr.block_count(scenario.bot, 24),
             "control_median": float(np.median(control_counts)),
-            "bots_cluster": rcidr.block_count(scenario.bot, 24)
+            "bots_cluster": icidr.block_count(scenario.bot, 24)
             <= float(np.median(control_counts)),
         }
     )

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.core import cidr as rcidr
+from repro.ipspace import cidr as icidr
 from repro.core.scenario import PaperScenario
 from repro.experiments.common import render_table
 from repro.experiments.paper_values import BLOCKED_SPACE_UTILISATION, TABLE2_SIZES
@@ -64,7 +64,7 @@ def run(scenario: PaperScenario) -> Table2Result:
         row["paper_size"] = TABLE2_SIZES[tag]
         rows.append(row)
 
-    blocked = rcidr.block_count(scenario.bot_test, 24)
+    blocked = icidr.block_count(scenario.bot_test, 24)
     available = blocked * 256
     utilisation = len(partition.candidate) / available if available else 0.0
     return Table2Result(

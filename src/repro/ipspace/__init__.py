@@ -1,7 +1,8 @@
 """IPv4 address-space substrate.
 
 Provides address arithmetic (:mod:`repro.ipspace.addr`), CIDR blocks and
-the paper's masking function :math:`C_n` (:mod:`repro.ipspace.cidr`), the
+the paper's masking function :math:`C_n` (:mod:`repro.ipspace.cidr`),
+batched trial-matrix prefix kernels (:mod:`repro.ipspace.kernels`), the
 2006-era IANA /8 allocation table (:mod:`repro.ipspace.iana`), and
 reserved-space filtering (:mod:`repro.ipspace.reserved`).
 """
@@ -26,6 +27,12 @@ from repro.ipspace.cidr import (
     unique_blocks,
 )
 from repro.ipspace.clusters import PrefixTable, synthesize_table
+from repro.ipspace.kernels import (
+    block_counts_2d,
+    intersection_counts_2d,
+    member_counts_2d,
+    sorted_rows,
+)
 from repro.ipspace.iana import Status, allocated_octets, is_allocated
 from repro.ipspace.structure import StructureProfile, profile_addresses
 from repro.ipspace.reserved import (
@@ -51,6 +58,10 @@ __all__ = [
     "unique_blocks",
     "block_count",
     "contains",
+    "sorted_rows",
+    "block_counts_2d",
+    "intersection_counts_2d",
+    "member_counts_2d",
     "Status",
     "allocated_octets",
     "is_allocated",

@@ -120,22 +120,41 @@ def mask_address(address: AddressLike, prefix_len: int) -> int:
     return as_int(address) & prefix_mask(prefix_len)
 
 
+def _as_addresses(addresses) -> np.ndarray:
+    """Accept a raw address array/iterable or anything report-shaped.
+
+    Objects exposing a ``.addresses`` array (:class:`repro.core.report.
+    Report`) are unwrapped by duck-typing, so the canonical block
+    functions below serve both layers without this substrate importing
+    :mod:`repro.core`.
+    """
+    return getattr(addresses, "addresses", addresses)
+
+
 def mask_array(addresses: np.ndarray, prefix_len: int) -> np.ndarray:
     """Vectorised :math:`C_n` over a ``uint32`` array.
 
     Returns an array of the same shape holding masked network integers.
     """
-    arr = as_array(addresses)
+    arr = as_array(_as_addresses(addresses))
     return arr & np.uint32(prefix_mask(prefix_len))
 
 
 def unique_blocks(addresses: Iterable[AddressLike], prefix_len: int) -> np.ndarray:
-    """The set :math:`C_n(S)` (Eq. 1) as a sorted array of network ints."""
-    return np.unique(mask_array(as_array(addresses), prefix_len))
+    """The set :math:`C_n(S)` (Eq. 1) as a sorted array of network ints.
+
+    ``addresses`` may be an address array/iterable or a report.
+    """
+    return np.unique(mask_array(addresses, prefix_len))
 
 
 def block_count(addresses: Iterable[AddressLike], prefix_len: int) -> int:
-    """:math:`|C_n(S)|`: how many distinct *n*-bit blocks cover ``S``."""
+    """:math:`|C_n(S)|`: how many distinct *n*-bit blocks cover ``S``.
+
+    The canonical implementation — ``addresses`` may be an address
+    array/iterable or a report (``repro.core.cidr.block_count`` is a
+    deprecated alias of this function).
+    """
     return int(unique_blocks(addresses, prefix_len).size)
 
 

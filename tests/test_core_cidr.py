@@ -1,10 +1,13 @@
 """Unit tests for repro.core.cidr (report-level CIDR operations)."""
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.core import cidr as rcidr
 from repro.core.report import Report
+from repro.ipspace import cidr as icidr
 from repro.ipspace.addr import as_int
 from repro.ipspace.cidr import CIDRBlock
 
@@ -22,9 +25,9 @@ class TestPrefixRange:
 class TestCidrSet:
     def test_counts(self):
         r = report("r", ["10.1.1.1", "10.1.1.2", "10.1.2.1", "10.2.0.1"])
-        assert rcidr.block_count(r, 24) == 3
-        assert rcidr.block_count(r, 16) == 2
-        assert rcidr.block_count(r, 32) == 4
+        assert icidr.block_count(r, 24) == 3
+        assert icidr.block_count(r, 16) == 2
+        assert icidr.block_count(r, 32) == 4
 
     def test_block_counts_dict(self):
         r = report("r", ["10.1.1.1", "10.2.1.1"])
@@ -42,9 +45,26 @@ class TestCidrSet:
         r = report("r", addrs)
         previous = 0
         for n in rcidr.PREFIX_RANGE:
-            count = rcidr.block_count(r, n)
+            count = icidr.block_count(r, n)
             assert count >= previous
             previous = count
+
+
+class TestDeprecatedBlockCount:
+    def test_shim_delegates_and_warns_once(self):
+        r = report("r", ["10.1.1.1", "10.1.1.2", "10.2.0.1"])
+        rcidr._WARNED.discard("block_count")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = rcidr.block_count(r, 24)
+            second = rcidr.block_count(r, 16)
+        assert first == icidr.block_count(r, 24)
+        assert second == icidr.block_count(r, 16)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.ipspace.cidr.block_count" in str(deprecations[0].message)
 
 
 class TestIntersection:
@@ -64,7 +84,7 @@ class TestIntersection:
     def test_self_intersection_is_block_count(self):
         r = report("r", ["10.1.1.1", "10.2.1.1", "11.0.0.1"])
         for n in (16, 24, 32):
-            assert rcidr.intersection_count(r, r, n) == rcidr.block_count(r, n)
+            assert rcidr.intersection_count(r, r, n) == icidr.block_count(r, n)
 
     def test_empty_reports(self):
         empty = report("e", [])

@@ -383,3 +383,29 @@ class TestSupervisedMonteCarlo:
         assert _statistic_tag(a) == _statistic_tag(
             partial(_block_count_vector, prefixes=(16, 24))
         )
+
+    def test_statistic_tags_distinguish_sanitize_collisions(self):
+        """Names that sanitize identically must not share checkpoint keys."""
+        from repro.core.sampling import _statistic_tag
+
+        def first(report):
+            return 0
+
+        def second(report):
+            return 0
+
+        # Both sanitize to "f.x." — only the raw-name hash tells them apart.
+        first.__qualname__ = "f(x)"
+        second.__qualname__ = "f.x."
+        assert _statistic_tag(first) != _statistic_tag(second)
+        assert _statistic_tag(first).startswith("f.x.-")
+
+    def test_statistic_tags_use_label_when_present(self):
+        from repro.core.density import BlockCountStatistic
+        from repro.core.sampling import _statistic_tag
+
+        tag = _statistic_tag(BlockCountStatistic((16, 24)))
+        assert tag.startswith("block-counts.16.24.")
+        # Deterministic across instances with equal parameters.
+        assert tag == _statistic_tag(BlockCountStatistic((16, 24)))
+        assert tag != _statistic_tag(BlockCountStatistic((16, 28)))

@@ -118,3 +118,61 @@ class TestScenarioLoop:
                 coverages.append(result["hostile_coverage"])
         assert coverages
         assert np.mean(coverages) > 0.5
+
+
+class TestControlBaseline:
+    @pytest.fixture
+    def control(self):
+        rng = np.random.default_rng(0x7AC)
+        return Report.from_addresses(
+            "control",
+            np.unique(rng.integers(0, 2**32, size=4000, dtype=np.uint32)),
+        )
+
+    def test_control_requires_rng(self, control):
+        tracker = UncleanlinessTracker()
+        tracker.update(0, {"bots": bots_report("w1", 9)})
+        with pytest.raises(ValueError):
+            tracker.evaluate(1, bots_report("w2", 9), control=control)
+
+    def test_control_coverage_summary(self, control):
+        tracker = UncleanlinessTracker()
+        tracker.update(0, {"bots": bots_report("w1", 9)})
+        result = tracker.evaluate(
+            1, bots_report("w2", 9), control=control,
+            rng=np.random.default_rng(2), subsets=25,
+        )
+        summary = result["control_coverage"]
+        assert 0.0 <= summary.minimum <= summary.maximum <= 1.0
+        assert 0.0 <= result["coverage_exceedance"] <= 1.0
+
+    def test_list_beats_random_controls(self, control):
+        """The tracked list covers next week's bots far better than it
+        covers random equal-cardinality control subsets."""
+        tracker = UncleanlinessTracker()
+        tracker.update(0, {"bots": bots_report("w1", 9)})
+        result = tracker.evaluate(
+            1, bots_report("w2", 9), control=control,
+            rng=np.random.default_rng(2), subsets=25,
+        )
+        assert result["hostile_coverage"] > result["control_coverage"].q95
+        assert result["coverage_exceedance"] == 1.0
+
+    def test_matrix_matches_per_trial_reference(self, control):
+        from repro.core.sampling import monte_carlo
+        from repro.core.tracking import ListCoverageStatistic
+
+        tracker = UncleanlinessTracker()
+        tracker.update(0, {"bots": bots_report("w1", 9)})
+        statistic = ListCoverageStatistic(
+            prefix_len=tracker.config.prefix_len,
+            networks=tracker.blocklist.active_networks(1),
+        )
+        batched = tracker.control_coverage_matrix(
+            1, 30, control, np.random.default_rng(6), subsets=12
+        )
+        reference = monte_carlo(
+            control, 30, 12, np.random.default_rng(6),
+            statistic=statistic.per_trial,
+        )
+        assert np.array_equal(batched, reference)

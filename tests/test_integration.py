@@ -8,7 +8,7 @@ suite re-runs them at full scale.
 import numpy as np
 import pytest
 
-from repro.core import cidr as rcidr
+from repro.ipspace import cidr as icidr
 from repro.core.density import density_test
 from repro.core.prediction import prediction_test
 from repro.core.uncleanliness import UncleanlinessScorer, block_jaccard
@@ -120,7 +120,7 @@ class TestBlocking:
 
     def test_sparse_traffic_from_blocked_space(self, small_scenario):
         """§6.2: only a few % of blocked /24 space ever communicated."""
-        blocked = rcidr.block_count(small_scenario.bot_test, 24)
+        blocked = icidr.block_count(small_scenario.bot_test, 24)
         candidates = len(small_scenario.partition.candidate)
         assert candidates < 0.15 * blocked * 256
 

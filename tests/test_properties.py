@@ -11,6 +11,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import cidr as rcidr
+from repro.ipspace import cidr as icidr
 from repro.core.report import Report
 from repro.core.stats import exceedance_fraction, summarize
 from repro.flows.record import FlowRecord, Protocol, TCPFlags
@@ -79,7 +80,7 @@ class TestBlockSetProperties:
         ra = Report.from_addresses("a", np.asarray(a, dtype=np.uint32))
         rb = Report.from_addresses("b", np.asarray(b, dtype=np.uint32))
         inter = rcidr.intersection_count(ra, rb, n)
-        assert inter <= min(rcidr.block_count(ra, n), rcidr.block_count(rb, n))
+        assert inter <= min(icidr.block_count(ra, n), icidr.block_count(rb, n))
 
 
 class TestReportProperties:
