@@ -1,0 +1,274 @@
+#!/usr/bin/env python
+"""Streaming-fold throughput and query-latency snapshot / guard.
+
+Two promises of the streaming layer are enforced here:
+
+* **Incremental ingest beats cold rebuild.**  Advancing a warm
+  :class:`~repro.stream.state.IncrementalState` by its final day must be
+  much cheaper than rebuilding the whole window's query surface from
+  scratch (detectors over every flow, whole-window score table, fresh
+  interval indexes) — that is the point of folding day-batches.  Before
+  timing, the script asserts both paths produce bit-identical scores.
+* **Lookups are sub-millisecond.**  ``score``/``is_blocked`` answer from
+  the precomputed interval indexes; the p99 of single-address lookups
+  through the real :class:`~repro.stream.service.UncleanlinessService`
+  surface must stay under 1 ms.
+
+Results land in ``BENCH_stream.json`` at the repo root; ``--guard``
+exits non-zero when the ingest speedup falls below the floor (5x at
+full scale, 3x at the small CI scale where fixed per-day overheads
+dominate) or the p99 lookup latency reaches 1 ms.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py \
+        --scale full --output BENCH_stream.json
+    PYTHONPATH=src python benchmarks/bench_stream.py --scale small --guard
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import folds
+from repro.core.report import DataClass, Report, ReportType
+from repro.detect.scan import ScanDetector
+from repro.detect.spam import SpamDetector
+from repro.flows.generator import TrafficConfig, TrafficGenerator
+from repro.ipspace.intervals import IntervalIndex
+from repro.sim.botnet import BotnetConfig, BotnetSimulation
+from repro.sim.internet import InternetConfig, SyntheticInternet
+from repro.sim.timeline import Window
+from repro.stream import (
+    DayBatch,
+    IncrementalState,
+    StreamConfig,
+    UncleanlinessService,
+    day_batches,
+)
+
+SCALES = {
+    # window length, synthetic-internet size, traffic volume, lookups
+    "full": dict(days=14, num_slash16=100, mean_hosts=30.0,
+                 benign_clients_per_day=200, suspicious_hosts=600,
+                 lookups=20_000, ingest_reps=5, rebuild_reps=3),
+    "small": dict(days=7, num_slash16=30, mean_hosts=15.0,
+                  benign_clients_per_day=60, suspicious_hosts=180,
+                  lookups=5_000, ingest_reps=3, rebuild_reps=2),
+}
+
+SPEEDUP_FLOORS = {"full": 5.0, "small": 3.0}
+P99_LOOKUP_CEILING_MS = 1.0
+
+
+def build_world(params):
+    """Synthetic traffic plus provided feeds for one bench window."""
+    window = Window(273, 273 + params["days"] - 1)
+    internet = SyntheticInternet(
+        InternetConfig(
+            num_slash16=params["num_slash16"],
+            mean_hosts=params["mean_hosts"],
+        ),
+        np.random.default_rng(0xBE),
+    )
+    botnet = BotnetSimulation(
+        internet,
+        BotnetConfig(daily_compromises=40.0, horizon_days=window.end_day + 1),
+        np.random.default_rng(0xBF),
+    )
+    traffic = TrafficGenerator(
+        internet,
+        botnet,
+        TrafficConfig(
+            benign_clients_per_day=params["benign_clients_per_day"],
+            suspicious_hosts=params["suspicious_hosts"],
+        ),
+    ).generate(window, np.random.default_rng(0xC0))
+
+    rng = np.random.default_rng(0xC1)
+    provided = {}
+    for tag, data_class in (("bot", DataClass.BOTS),
+                            ("phish", DataClass.PHISHING)):
+        provided[tag] = Report(
+            tag=tag,
+            addresses=np.unique(
+                rng.integers(0, 2**32, size=2_000, dtype=np.uint32)
+            ),
+            report_type=ReportType.PROVIDED,
+            data_class=data_class,
+            period=window.dates(),
+        ).without_reserved()
+    return window, traffic, provided
+
+
+def cold_rebuild(config, traffic, provided):
+    """The non-incremental path: everything from raw window flows."""
+    reports = dict(provided)
+    reports["scan"] = folds.observed_report(
+        "scan",
+        ScanDetector(config.scan_detector).detect(traffic.flows),
+        config.window,
+    )
+    reports["spam"] = folds.observed_report(
+        "spam",
+        SpamDetector(config.spam_detector).detect(traffic.flows),
+        config.window,
+    )
+    reports["unclean"] = folds.unclean_union(reports, config.window)
+    scores = folds.batch_scores(
+        reports, prefix_len=config.prefix_len, weights=dict(config.weights)
+    )
+    blocklist = folds.blocklist_networks(scores, config.threshold)
+    score_index = IntervalIndex.from_blocks(
+        scores.blocks, config.prefix_len, values=scores.scores
+    )
+    block_index = IntervalIndex.from_blocks(blocklist, config.prefix_len)
+    return scores, blocklist, score_index, block_index
+
+
+def bench_ingest(config, traffic, provided, params) -> dict:
+    """Final-day incremental fold vs whole-window rebuild."""
+    batches = list(day_batches(traffic, provided))
+    warm = IncrementalState(config)
+    for batch in batches[:-1]:
+        warm.ingest(batch)
+    final = batches[-1]
+
+    # Bit-identity first: the two paths must agree exactly.
+    probe = warm.snapshot()
+    probe.ingest(final)
+    cold_scores, cold_blocklist, _, _ = cold_rebuild(config, traffic, provided)
+    if not np.array_equal(probe.scores().scores, cold_scores.scores):
+        raise AssertionError("incremental scores diverge from cold rebuild")
+    if not np.array_equal(probe.blocklist(), cold_blocklist):
+        raise AssertionError("incremental blocklist diverges from cold rebuild")
+
+    ingest_s = min(
+        _timed(lambda state=warm.snapshot(): state.ingest(final))
+        for _ in range(params["ingest_reps"])
+    )
+    rebuild_s = min(
+        _timed(lambda: cold_rebuild(config, traffic, provided))
+        for _ in range(params["rebuild_reps"])
+    )
+    return {
+        "window_days": len(batches),
+        "window_flows": len(traffic.flows),
+        "final_day_flows": len(final.flows),
+        "scored_blocks": len(probe.scores()),
+        "incremental_ingest_seconds": round(ingest_s, 5),
+        "cold_rebuild_seconds": round(rebuild_s, 5),
+        "speedup": round(rebuild_s / ingest_s, 2),
+    }
+
+
+def _timed(op) -> float:
+    start = time.perf_counter()
+    op()
+    return time.perf_counter() - start
+
+
+def bench_lookups(config, traffic, provided, params) -> dict:
+    """Per-lookup latency through the service query surface."""
+    service = UncleanlinessService(config, checkpointing=False)
+    for batch in day_batches(traffic, provided):
+        service.ingest(batch)
+
+    rng = np.random.default_rng(0xD0)
+    count = params["lookups"]
+    # Half the probes inside scored space, half anywhere.
+    scored = service.scores().blocks
+    probes = rng.integers(0, 2**32, size=count, dtype=np.uint32)
+    if scored.size:
+        inside = scored[rng.integers(0, scored.size, size=count // 2)]
+        probes[: count // 2] = inside + rng.integers(
+            0, 2 ** (32 - config.prefix_len), size=count // 2, dtype=np.uint32
+        )
+
+    latencies = np.empty(count, dtype=np.float64)
+    for i, address in enumerate(probes):
+        start = time.perf_counter()
+        if i % 2:
+            service.is_blocked(int(address))
+        else:
+            service.score(int(address))
+        latencies[i] = time.perf_counter() - start
+    p50, p99 = np.percentile(latencies, [50, 99])
+    return {
+        "lookups": count,
+        "scored_blocks": int(scored.size),
+        "blocklist_size": int(service.blocklist().size),
+        "p50_ms": round(float(p50) * 1e3, 4),
+        "p99_ms": round(float(p99) * 1e3, 4),
+        "lookups_per_sec": round(count / float(latencies.sum()), 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=tuple(SCALES), default="full")
+    parser.add_argument("--output", default="BENCH_stream.json")
+    parser.add_argument("--guard", action="store_true",
+                        help="exit non-zero when a floor is broken")
+    args = parser.parse_args(argv)
+
+    params = SCALES[args.scale]
+    floor = SPEEDUP_FLOORS[args.scale]
+    window, traffic, provided = build_world(params)
+    config = StreamConfig(window=window)
+
+    sections = {
+        "incremental_ingest": bench_ingest(config, traffic, provided, params),
+        "lookup_latency": bench_lookups(config, traffic, provided, params),
+    }
+
+    snapshot = {
+        "suite": "stream",
+        "scale": args.scale,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "speedup_floor": floor,
+        "p99_lookup_ceiling_ms": P99_LOOKUP_CEILING_MS,
+        "sections": sections,
+    }
+    Path(args.output).write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    ingest = sections["incremental_ingest"]
+    lookup = sections["lookup_latency"]
+    print(
+        f"  incremental_ingest  {ingest['incremental_ingest_seconds']:.4f}s "
+        f"vs cold {ingest['cold_rebuild_seconds']:.4f}s "
+        f"({ingest['speedup']}x over {ingest['window_days']} days)"
+    )
+    print(
+        f"  lookup_latency      p50 {lookup['p50_ms']:.3f} ms, "
+        f"p99 {lookup['p99_ms']:.3f} ms "
+        f"({lookup['lookups_per_sec']:.0f} lookups/s)"
+    )
+
+    if not args.guard:
+        return 0
+    failed = []
+    if ingest["speedup"] < floor:
+        failed.append(
+            f"incremental_ingest: {ingest['speedup']}x < required {floor}x"
+        )
+    if lookup["p99_ms"] >= P99_LOOKUP_CEILING_MS:
+        failed.append(
+            f"lookup_latency: p99 {lookup['p99_ms']} ms >= "
+            f"{P99_LOOKUP_CEILING_MS} ms ceiling"
+        )
+    for message in failed:
+        print(f"GUARD FAIL: {message}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,8 +32,10 @@ in the engine's content-addressed store.
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Generic, List, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 
@@ -46,7 +48,12 @@ from repro.core.prediction import PredictionResult
 from repro.core.prediction import prediction_test as _prediction_test
 from repro.core.report import Report
 from repro.core.scenario import PaperScenario, ScenarioConfig
+from repro.ipspace.addr import AddressLike
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.sim.timeline import PAPER_WINDOWS
+from repro.stream import StreamConfig, UncleanlinessService, day_batches
+from repro.stream.checkpoint import stream_fingerprint
 
 __all__ = [
     "ScenarioRun",
@@ -54,15 +61,86 @@ __all__ = [
     "density_test",
     "prediction_test",
     "evaluate_blocking",
+    "stream_service",
+    "score",
+    "is_blocked",
+    "top_blocks",
     "clear_scenario_cache",
     "DensityResult",
     "PredictionResult",
     "BlockingResult",
     "ScenarioConfig",
+    "StreamConfig",
+    "UncleanlinessService",
 ]
 
-#: One scenario per config fingerprint; stage artifacts live in the store.
-_SCENARIOS: Dict[str, PaperScenario] = {}
+_V = TypeVar("_V")
+
+
+class _LRUCache(Generic[_V]):
+    """A small bounded LRU keyed by fingerprint strings.
+
+    Scenario handles hold simulations alive through the engine's memory
+    tier, so the facade's per-fingerprint cache must not grow without
+    bound in long-lived processes (a sweep over many seeds, say);
+    evictions are counted to the named metric so cache thrash is
+    visible in the run manifest.
+    """
+
+    def __init__(self, capacity: int, metric: str) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.metric = metric
+        self._entries: "OrderedDict[str, _V]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[_V]:
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: str, value: _V) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            obs_metrics.inc(self.metric)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+
+def _cache_capacity(env: str, default: int) -> int:
+    raw = os.environ.get(env)
+    if raw is None:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
+
+#: Scenarios per config fingerprint, bounded (``$REPRO_SCENARIO_CACHE_SIZE``,
+#: default 8); stage artifacts live in the engine store regardless, so an
+#: evicted scenario rebuilds from cache, not from simulation.
+_SCENARIOS: _LRUCache[PaperScenario] = _LRUCache(
+    _cache_capacity("REPRO_SCENARIO_CACHE_SIZE", 8),
+    "api.scenario_cache.evictions",
+)
+
+#: Streaming services per stream fingerprint (bounded like scenarios;
+#: an evicted service resumes from its day checkpoints).
+_SERVICES: _LRUCache[UncleanlinessService] = _LRUCache(
+    _cache_capacity("REPRO_STREAM_CACHE_SIZE", 4),
+    "api.stream_cache.evictions",
+)
 
 
 def _scenario_for(config: Optional[ScenarioConfig] = None) -> PaperScenario:
@@ -72,18 +150,19 @@ def _scenario_for(config: Optional[ScenarioConfig] = None) -> PaperScenario:
     scenario = _SCENARIOS.get(key)
     if scenario is None:
         scenario = PaperScenario._create(config)
-        _SCENARIOS[key] = scenario
+        _SCENARIOS.put(key, scenario)
     return scenario
 
 
 def clear_scenario_cache() -> None:
-    """Drop the shared scenario handles (used by tests).
+    """Drop the shared scenario and stream-service handles (tests).
 
     Stage artifacts in the engine store are untouched; reset or clear
     the store itself (:func:`repro.engine.reset_default_store`) to force
     real rebuilds.
     """
     _SCENARIOS.clear()
+    _SERVICES.clear()
 
 
 @dataclass(frozen=True)
@@ -269,3 +348,130 @@ def evaluate_blocking(
     report = _as_report(sc, bot_test)
     with obs_trace.span("api.evaluate_blocking", bot_test=report.tag):
         return _blocking_test(sc.partition, report, prefixes)
+
+
+# -- streaming service -------------------------------------------------------
+
+#: Report feeds a scenario delivers to the stream (everything in Table 1
+#: except the detector-computed ``scan``/``spam`` and derived ``unclean``).
+STREAM_FEED_TAGS = (
+    "bot", "phish", "phish-present", "bot-test", "phish-test", "control",
+)
+
+
+def _stream_config_for(
+    config: ScenarioConfig, prefix_len: int, threshold: float
+) -> StreamConfig:
+    """The stream calibrated to a scenario (replay-equivalent settings)."""
+    return StreamConfig(
+        window=PAPER_WINDOWS.OCTOBER,
+        prefix_len=prefix_len,
+        threshold=threshold,
+        scan_detector=config.scan_detector,
+        spam_detector=config.spam_detector,
+    )
+
+
+def _warm_service(service: UncleanlinessService, sc: PaperScenario) -> int:
+    """Ingest every day the service has not seen yet; days folded.
+
+    A cold service gets the scenario's feeds with its first batch; one
+    resumed from a checkpoint already holds the merged feeds, so only
+    the remaining days' flows are replayed.
+    """
+    window = service.config.window
+    if service.cursor >= window.end_day:
+        return 0
+    provided = None
+    if service.state.days_ingested == 0:
+        provided = {tag: sc.report(tag) for tag in STREAM_FEED_TAGS}
+    folded = 0
+    for batch in day_batches(
+        sc.october_traffic, provided, from_day=service.cursor + 1
+    ):
+        service.ingest(batch)
+        folded += 1
+    return folded
+
+
+def stream_service(
+    scenario: ScenarioLike = None,
+    *,
+    small: bool = False,
+    seed: Optional[int] = None,
+    prefix_len: int = 24,
+    threshold: float = 0.5,
+    warm: bool = True,
+    checkpointing: bool = True,
+) -> UncleanlinessService:
+    """The streaming uncleanliness service for a scenario's traffic.
+
+    Resumes from the newest day checkpoint when one exists, then (with
+    ``warm=True``) folds in any days not yet ingested, so the returned
+    service always answers for the scenario's full window.  Services
+    are shared per stream fingerprint, so repeated calls — and the
+    :func:`score` / :func:`is_blocked` / :func:`top_blocks` one-liners —
+    reuse the warm index.
+    """
+    if scenario is None and (small or seed is not None):
+        scenario = run_scenario(small=small, seed=seed)
+    elif small or seed is not None:
+        raise ValueError("pass either a scenario or small=/seed=, not both")
+    sc = _resolve_scenario(scenario)
+    config = _stream_config_for(sc.config, prefix_len, threshold)
+    source = sc.config.fingerprint()
+    with obs_trace.span("api.stream_service", source=source):
+        service = _SERVICES.get(stream_fingerprint(config, source))
+        if service is None:
+            service = UncleanlinessService.resume(
+                config, source=source, checkpointing=checkpointing
+            )
+            _SERVICES.put(service.fingerprint, service)
+        if warm:
+            _warm_service(service, sc)
+    return service
+
+
+def score(
+    address: AddressLike,
+    scenario: ScenarioLike = None,
+    *,
+    small: bool = False,
+    seed: Optional[int] = None,
+    prefix_len: int = 24,
+) -> float:
+    """Uncleanliness score of the block containing ``address`` — the §7
+    metric served from the streaming index (0.0 for unreported space)."""
+    return stream_service(
+        scenario, small=small, seed=seed, prefix_len=prefix_len
+    ).score(address)
+
+
+def is_blocked(
+    address: AddressLike,
+    scenario: ScenarioLike = None,
+    *,
+    small: bool = False,
+    seed: Optional[int] = None,
+    prefix_len: int = 24,
+    threshold: float = 0.5,
+) -> bool:
+    """Whether ``address`` is inside the current recommended blocklist."""
+    return stream_service(
+        scenario, small=small, seed=seed,
+        prefix_len=prefix_len, threshold=threshold,
+    ).is_blocked(address)
+
+
+def top_blocks(
+    count: int = 10,
+    scenario: ScenarioLike = None,
+    *,
+    small: bool = False,
+    seed: Optional[int] = None,
+    prefix_len: int = 24,
+) -> List[dict]:
+    """The ``count`` most unclean blocks with per-class evidence."""
+    return stream_service(
+        scenario, small=small, seed=seed, prefix_len=prefix_len
+    ).top_blocks(count)

@@ -81,12 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=sorted(_SCENARIO_EXPERIMENTS)
         + ["figure1", "ablation", "all", "score", "validate", "profile",
-           "cache", "trace"],
+           "cache", "trace", "ingest", "serve"],
         help="which experiment to regenerate; 'score' scores user-provided "
         "report files into a /24 blocklist, 'validate' runs the statistical "
         "generator checks, 'profile' prints the address-structure profile "
         "of report files, 'cache' inspects or clears the artifact cache, "
-        "'trace' pretty-prints the span tree of a recorded run",
+        "'trace' pretty-prints the span tree of a recorded run, 'ingest' "
+        "folds scenario day-batches into the streaming uncleanliness "
+        "service (checkpointed, resumable), 'serve' answers score/blocked "
+        "queries from the streaming index over stdin",
     )
     parser.add_argument(
         "action",
@@ -154,6 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="(score) write the blocklist here instead of stdout",
     )
+    parser.add_argument(
+        "--days",
+        type=int,
+        default=None,
+        help="(ingest) fold at most this many not-yet-ingested days "
+        "(default: all remaining days of the window)",
+    )
     return parser
 
 
@@ -173,6 +183,9 @@ def _run_cache(args: argparse.Namespace) -> int:
               f"(max {info['max_memory_items']})")
         print(f"  hits:           {info['memory_hits']} memory, "
               f"{info['disk_hits']} disk; misses: {info['misses']}")
+        print(f"  stream ckpts:   {info['stream_checkpoints']} "
+              f"day checkpoint(s)")
+        print(f"  quarantine:     {info['quarantine_files']} file(s)")
         return 0
     if action == "clear":
         removed = store.clear()
@@ -310,6 +323,103 @@ def _run_score(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_ingest(args: argparse.Namespace) -> int:
+    """Fold scenario day-batches into the streaming service."""
+    from repro import api
+    from repro.stream import day_batches
+
+    config = _scenario_config(args)
+    service = api.stream_service(
+        config, prefix_len=args.prefix, threshold=args.threshold, warm=False
+    )
+    window = service.config.window
+    if service.cursor >= window.end_day:
+        print(f"stream already at head (day {service.cursor}); "
+              f"nothing to ingest")
+        return 0
+    scenario = api.run_scenario(config).scenario
+    provided = None
+    if service.state.days_ingested == 0:
+        provided = {tag: scenario.report(tag) for tag in api.STREAM_FEED_TAGS}
+    folded = 0
+    for batch in day_batches(
+        scenario.october_traffic, provided, from_day=service.cursor + 1
+    ):
+        if args.days is not None and folded >= args.days:
+            break
+        delta = service.ingest(batch)
+        folded += 1
+        fresh = sum(delta.fresh.values())
+        print(f"day {delta.day}: {delta.flows} flows, +{fresh} fresh "
+              f"address(es), -{delta.retracted_spam} retracted, "
+              f"{delta.blocks} scored blocks, "
+              f"{delta.blocklist_size} blocklisted")
+    state = "at head" if service.cursor >= window.end_day else "behind head"
+    print(f"ingested {folded} day(s); cursor {service.cursor} of "
+          f"{window.end_day} ({state}); checkpoints under "
+          f"{service.fingerprint[:12]}...")
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Answer score/blocked queries over stdin from the warm index."""
+    from repro import api
+
+    config = _scenario_config(args)
+    service = api.stream_service(
+        config, prefix_len=args.prefix, threshold=args.threshold
+    )
+    info = service.info()
+    print(f"serving window {info['window']} at day {info['cursor']}: "
+          f"{info['blocks']} scored /{args.prefix} blocks, "
+          f"{info['blocklist']} blocklisted")
+    print("commands: score <ip> | blocked <ip> | top [n] | info | quit")
+    import time
+
+    latencies: List[float] = []
+    status = 0
+    for line in sys.stdin:
+        parts = line.split()
+        if not parts:
+            continue
+        command, operands = parts[0].lower(), parts[1:]
+        try:
+            if command in ("quit", "exit"):
+                break
+            elif command == "score" and len(operands) == 1:
+                began = time.perf_counter()
+                value = service.score(operands[0])
+                latencies.append(time.perf_counter() - began)
+                print(f"{operands[0]} {value:.4f}")
+            elif command == "blocked" and len(operands) == 1:
+                began = time.perf_counter()
+                verdict = service.is_blocked(operands[0])
+                latencies.append(time.perf_counter() - began)
+                print(f"{operands[0]} {'blocked' if verdict else 'allowed'}")
+            elif command == "top":
+                count = int(operands[0]) if operands else 10
+                for row in service.top_blocks(count):
+                    evidence = " ".join(
+                        f"{cls}={row[cls]}"
+                        for cls in row if cls not in ("block", "score")
+                    )
+                    print(f"{row['block']} score={row['score']} {evidence}")
+            elif command == "info":
+                for key, value in service.info().items():
+                    print(f"  {key}: {value}")
+            else:
+                print(f"? unknown command: {line.strip()}", file=sys.stderr)
+                status = 2
+        except (ValueError, TypeError) as err:
+            print(f"? {err}", file=sys.stderr)
+            status = 2
+    if latencies:
+        p50, p99 = np.percentile(latencies, [50, 99])
+        print(f"served {len(latencies)} lookup(s): "
+              f"p50 {p50 * 1e3:.3f} ms, p99 {p99 * 1e3:.3f} ms")
+    return status
+
+
 def _scenario_config(args: argparse.Namespace) -> ScenarioConfig:
     if args.small:
         config = ScenarioConfig.small()
@@ -379,6 +489,12 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.experiment == "profile":
         return _run_profile(args)
+
+    if args.experiment == "ingest":
+        return _run_ingest(args)
+
+    if args.experiment == "serve":
+        return _run_serve(args)
 
     if args.experiment == "figure1":
         with obs_trace.span("experiment.figure1"):

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
+from repro.core import folds
 from repro.core.blocking import CandidatePartition, partition_candidates
 from repro.core.report import DataClass, Report, ReportType
 from repro.detect.botlog import BotLogMonitor
@@ -111,7 +112,9 @@ def _build_partition(ctx: StageContext) -> CandidatePartition:
     )
 
 
-# -- report construction (moved verbatim from the eager builder) -----------
+# -- report construction (window logic shared with repro.stream via
+# repro.core.folds; metadata construction lives there so the batch stage
+# and the day-fold build identical reports) --------------------------------
 
 
 def _observed_reports(cfg, traffic, reports) -> None:
@@ -120,22 +123,10 @@ def _observed_reports(cfg, traffic, reports) -> None:
     flows = traffic.flows
 
     scanners = ScanDetector(cfg.scan_detector).detect(flows)
-    reports["scan"] = Report(
-        tag="scan",
-        addresses=scanners,
-        report_type=ReportType.OBSERVED,
-        data_class=DataClass.SCANNING,
-        period=window.dates(),
-    ).without_reserved()
+    reports["scan"] = folds.observed_report("scan", scanners, window)
 
     spammers = SpamDetector(cfg.spam_detector).detect(flows)
-    reports["spam"] = Report(
-        tag="spam",
-        addresses=spammers,
-        report_type=ReportType.OBSERVED,
-        data_class=DataClass.SPAM,
-        period=window.dates(),
-    ).without_reserved()
+    reports["spam"] = folds.observed_report("spam", spammers, window)
 
 
 def _provided_reports(cfg, botnet, phishing, rng, reports) -> None:
@@ -227,14 +218,7 @@ def _control_report(cfg, internet, rng, reports) -> None:
 
 def _union_report(reports: Dict[str, Report]) -> Report:
     """R_unclean: the union of the four unclean reports (Table 2)."""
-    union = reports["bot"] | reports["phish"] | reports["scan"] | reports["spam"]
-    return Report(
-        tag="unclean",
-        addresses=union.addresses,
-        report_type=ReportType.PROVIDED,
-        data_class=DataClass.SPECIAL,
-        period=PAPER_WINDOWS.OCTOBER.dates(),
-    )
+    return folds.unclean_union(reports, PAPER_WINDOWS.OCTOBER)
 
 
 SCENARIO_STAGES = (

@@ -36,6 +36,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from repro.core.report import DataClass, Report, ReportType
+from repro.ipspace.kernels import merge_sorted_rows
 
 try:  # Protocol is typing-only; runtime dispatch uses hasattr("batch").
     from typing import Protocol, runtime_checkable
@@ -165,6 +166,29 @@ class TrialEnsemble:
 
     def __len__(self) -> int:
         return self.trials
+
+    def merged_with(self, columns: np.ndarray) -> "TrialEnsemble":
+        """A new ensemble with extra addresses merged into every trial.
+
+        ``columns`` is a ``(trials, new)`` matrix of additional
+        addresses (one batch of new columns per trial — the streaming
+        shape: each day contributes a few fresh addresses per trial).
+        Rows of ``columns`` need not be sorted; rows of the result are,
+        via the sorted-merge kernel rather than a full re-sort, which is
+        what keeps per-day ensemble growth proportional to the batch
+        width instead of the accumulated cardinality.
+        """
+        batch = np.array(columns, dtype=np.uint32, copy=True, ndmin=2)
+        if batch.shape[0] != self.trials:
+            raise ValueError(
+                f"batch has {batch.shape[0]} rows for {self.trials} trials"
+            )
+        batch.sort(axis=1)
+        return TrialEnsemble(
+            matrix=merge_sorted_rows(self.matrix, batch),
+            start=self.start,
+            source_tag=self.source_tag,
+        )
 
     def trial(self, index: int) -> Report:
         """Trial ``start + index`` as a :class:`Report` — the object the

@@ -27,8 +27,9 @@ import numpy as np
 from repro import obs
 from repro.flows.log import FlowLog
 from repro.flows.record import Protocol
+from repro.ipspace.kernels import merge_unique
 
-__all__ = ["SpamDetectorConfig", "SpamDetector"]
+__all__ = ["SpamDetectorConfig", "SpamDetector", "SpamAggregates"]
 
 _SMTP_PORT = 25
 _DAY_SECONDS = 86_400.0
@@ -56,6 +57,116 @@ class SpamDetectorConfig:
             raise ValueError("max_size_cv must be positive")
 
 
+@dataclass(frozen=True)
+class SpamAggregates:
+    """Mergeable per-source SMTP sufficient statistics.
+
+    Everything the detector thresholds on reduces to five per-source
+    columns; all are exact in ``float64`` (integer counts and
+    integer-valued sums far below 2**53), so float addition is
+    associative here and merging day-partial aggregates reproduces the
+    whole-window statistics *bit for bit* — the invariant the streaming
+    replay-equivalence tests enforce.
+
+    ``merge`` requires operands covering **disjoint day sets** (the
+    stream layer feeds it one day-batch at a time); otherwise
+    ``active_days`` would double-count.
+    """
+
+    sources: np.ndarray  # sorted unique uint32
+    messages: np.ndarray  # int64: SMTP deliveries per source
+    active_days: np.ndarray  # int64: distinct sending days per source
+    size_sums: np.ndarray  # float64 (exact): sum of delivery sizes
+    size_sq_sums: np.ndarray  # float64 (exact): sum of squared sizes
+
+    @classmethod
+    def empty(cls) -> "SpamAggregates":
+        return cls(
+            sources=np.asarray([], dtype=np.uint32),
+            messages=np.asarray([], dtype=np.int64),
+            active_days=np.asarray([], dtype=np.int64),
+            size_sums=np.asarray([], dtype=np.float64),
+            size_sq_sums=np.asarray([], dtype=np.float64),
+        )
+
+    @classmethod
+    def from_flows(cls, flows: FlowLog) -> "SpamAggregates":
+        """Aggregate the SMTP deliveries of any span of flows."""
+        smtp_mask = (
+            (flows.protocol == Protocol.TCP)
+            & (flows.dst_port == _SMTP_PORT)
+            & flows.payload_bearing_mask()
+        )
+        smtp = flows.select(smtp_mask)
+        if len(smtp) == 0:
+            return cls.empty()
+
+        sources, inverse = np.unique(smtp.src_addr, return_inverse=True)
+        counts = np.bincount(inverse, minlength=sources.size)
+
+        days = (smtp.start_time // _DAY_SECONDS).astype(np.int64)
+        source_days = np.unique(np.stack([inverse, days], axis=1), axis=0)
+        day_counts = np.bincount(source_days[:, 0], minlength=sources.size)
+
+        sizes = smtp.octets.astype(np.float64)
+        sums = np.bincount(inverse, weights=sizes, minlength=sources.size)
+        sq_sums = np.bincount(inverse, weights=sizes**2, minlength=sources.size)
+        return cls(
+            sources=sources.astype(np.uint32),
+            messages=counts.astype(np.int64),
+            active_days=day_counts.astype(np.int64),
+            size_sums=sums,
+            size_sq_sums=sq_sums,
+        )
+
+    def merge(self, other: "SpamAggregates") -> "SpamAggregates":
+        """Fold in aggregates covering a disjoint set of days."""
+        if self.sources.size == 0:
+            return other
+        if other.sources.size == 0:
+            return self
+        union, _ = merge_unique(self.sources, other.sources)
+        mine = np.searchsorted(union, self.sources)
+        theirs = np.searchsorted(union, other.sources)
+
+        def _sum(a: np.ndarray, b: np.ndarray, dtype) -> np.ndarray:
+            out = np.zeros(union.size, dtype=dtype)
+            out[mine] += a
+            out[theirs] += b
+            return out
+
+        return SpamAggregates(
+            sources=union,
+            messages=_sum(self.messages, other.messages, np.int64),
+            active_days=_sum(self.active_days, other.active_days, np.int64),
+            size_sums=_sum(self.size_sums, other.size_sums, np.float64),
+            size_sq_sums=_sum(self.size_sq_sums, other.size_sq_sums, np.float64),
+        )
+
+    def flagged(self, config: SpamDetectorConfig) -> np.ndarray:
+        """Sorted unique sources the detector flags at these aggregates.
+
+        Exactly the arithmetic of the batch detector, over columns that
+        merging reproduces exactly, so flags computed incrementally and
+        flags computed whole-window agree bit for bit.
+        """
+        if self.sources.size == 0:
+            return np.asarray([], dtype=np.uint32)
+        counts = self.messages
+        daily_rate = counts / np.maximum(self.active_days, 1)
+        means = self.size_sums / np.maximum(counts, 1)
+        variances = np.maximum(
+            self.size_sq_sums / np.maximum(counts, 1) - means**2, 0.0
+        )
+        cv = np.sqrt(variances) / np.maximum(means, 1e-9)
+        mask = (
+            (counts >= config.min_messages)
+            & (daily_rate >= config.min_daily_rate)
+            & (cv <= config.max_size_cv)
+        )
+        return self.sources[mask].astype(np.uint32)
+
+
 class SpamDetector:
     """Flags bulk SMTP senders from flow behaviour."""
 
@@ -69,35 +180,4 @@ class SpamDetector:
             return self._detect(flows)
 
     def _detect(self, flows: FlowLog) -> np.ndarray:
-        smtp_mask = (
-            (flows.protocol == Protocol.TCP)
-            & (flows.dst_port == _SMTP_PORT)
-            & flows.payload_bearing_mask()
-        )
-        smtp = flows.select(smtp_mask)
-        if len(smtp) == 0:
-            return np.asarray([], dtype=np.uint32)
-
-        sources, inverse = np.unique(smtp.src_addr, return_inverse=True)
-        counts = np.bincount(inverse, minlength=sources.size)
-
-        # Active sending days per source.
-        days = (smtp.start_time // _DAY_SECONDS).astype(np.int64)
-        source_days = np.unique(np.stack([inverse, days], axis=1), axis=0)
-        day_counts = np.bincount(source_days[:, 0], minlength=sources.size)
-        daily_rate = counts / np.maximum(day_counts, 1)
-
-        # Size regularity per source.
-        sizes = smtp.octets.astype(np.float64)
-        sums = np.bincount(inverse, weights=sizes, minlength=sources.size)
-        sq_sums = np.bincount(inverse, weights=sizes**2, minlength=sources.size)
-        means = sums / np.maximum(counts, 1)
-        variances = np.maximum(sq_sums / np.maximum(counts, 1) - means**2, 0.0)
-        cv = np.sqrt(variances) / np.maximum(means, 1e-9)
-
-        flagged = (
-            (counts >= self.config.min_messages)
-            & (daily_rate >= self.config.min_daily_rate)
-            & (cv <= self.config.max_size_cv)
-        )
-        return sources[flagged].astype(np.uint32)
+        return SpamAggregates.from_flows(flows).flagged(self.config)

@@ -686,6 +686,13 @@ class ArtifactStore:
             "puts": self.puts,
             "evictions": self.evictions,
             "quarantine_files": len(self._quarantine_files()),
+            # Streaming day checkpoints (repro.stream.checkpoint keys
+            # look like <fp>/stream.day-<DDDDD>; one sidecar per entry).
+            "stream_checkpoints": sum(
+                1
+                for path in files
+                if path.name.endswith(".json") and ".stream.day-" in path.name
+            ),
         }
         snapshot.update(self.health())
         return snapshot

@@ -35,6 +35,12 @@ __all__ = [
     "block_counts_2d",
     "intersection_counts_2d",
     "member_counts_2d",
+    "merge_sorted",
+    "merge_unique",
+    "remove_sorted",
+    "merge_sorted_rows",
+    "block_counts_2d_merge",
+    "intersection_counts_2d_merge",
 ]
 
 
@@ -173,4 +179,210 @@ def member_counts_2d(
         idx = np.searchsorted(blocks, masked)
         np.minimum(idx, blocks.size - 1, out=idx)
         out[:, column] = np.count_nonzero(blocks[idx] == masked, axis=1)
+    return out
+
+
+# -- sorted-merge incremental kernels ---------------------------------------
+#
+# The streaming layer never re-sorts: a day-batch arrives sorted, the
+# rolling state is sorted, and a two-searchsorted merge places both in
+# O((n+m) log) vectorised work.  Masking monotonicity (the module-doc
+# invariant) carries over: a merged row is sorted at /32, hence sorted
+# after masking at any prefix, so the incremental count kernels below
+# only have to find which *batch* elements start blocks the existing
+# rows did not already contain.
+
+
+def merge_sorted(existing: np.ndarray, batch: np.ndarray) -> np.ndarray:
+    """Merge two sorted 1-D arrays (duplicates kept), without re-sorting.
+
+    Classic merge-path scatter: each element's output position is its
+    own index plus the count of the *other* array's elements before it
+    (ties broken existing-first, so the merge is stable).
+    """
+    existing = np.asarray(existing)
+    batch = np.asarray(batch, dtype=existing.dtype)
+    out = np.empty(existing.size + batch.size, dtype=existing.dtype)
+    out[np.searchsorted(batch, existing, side="left")
+        + np.arange(existing.size)] = existing
+    out[np.searchsorted(existing, batch, side="right")
+        + np.arange(batch.size)] = batch
+    return out
+
+
+def merge_unique(
+    existing: np.ndarray, batch: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge a sorted-unique ``batch`` into a sorted-unique ``existing``.
+
+    Returns ``(merged, fresh)`` where ``fresh`` marks the batch elements
+    that were *not* already present — the per-day set delta every rolling
+    report and block counter in the stream layer is driven by.
+    """
+    existing = np.asarray(existing)
+    batch = np.asarray(batch, dtype=existing.dtype)
+    if batch.size == 0:
+        return existing, np.zeros(0, dtype=bool)
+    if existing.size == 0:
+        return batch.copy(), np.ones(batch.size, dtype=bool)
+    idx = np.searchsorted(existing, batch)
+    clipped = np.minimum(idx, existing.size - 1)
+    fresh = ~((idx < existing.size) & (existing[clipped] == batch))
+    if not fresh.any():
+        return existing, fresh
+    merged = np.insert(existing, idx[fresh], batch[fresh])
+    return merged, fresh
+
+
+def remove_sorted(existing: np.ndarray, victims: np.ndarray) -> np.ndarray:
+    """Drop the (sorted-unique) ``victims`` present in sorted ``existing``."""
+    existing = np.asarray(existing)
+    victims = np.asarray(victims, dtype=existing.dtype)
+    if existing.size == 0 or victims.size == 0:
+        return existing
+    idx = np.searchsorted(existing, victims)
+    clipped = np.minimum(idx, existing.size - 1)
+    present = (idx < existing.size) & (existing[clipped] == victims)
+    if not present.any():
+        return existing
+    return np.delete(existing, idx[present])
+
+
+def _rowwise_searchsorted(
+    rows: np.ndarray, values: np.ndarray, side: str = "left"
+) -> np.ndarray:
+    """Per-row ``searchsorted``: positions of ``values[t]`` in ``rows[t]``.
+
+    One flat searchsorted serves every row: promoting both operands to
+    ``int64`` and adding ``row_index * 2**32`` makes rows disjoint
+    key ranges, so a single sorted lookup resolves all trials at once.
+    """
+    trials, width = rows.shape
+    offset = np.arange(trials, dtype=np.int64)[:, None] << np.int64(32)
+    flat_rows = (rows.astype(np.int64) + offset).ravel()
+    flat_values = (values.astype(np.int64) + offset).ravel()
+    idx = np.searchsorted(flat_rows, flat_values, side=side)
+    return idx.reshape(values.shape) - np.arange(trials)[:, None] * width
+
+
+def merge_sorted_rows(rows: np.ndarray, batch: np.ndarray) -> np.ndarray:
+    """Row-wise sorted merge: ``(T, k)`` + ``(T, j)`` → sorted ``(T, k+j)``.
+
+    Both inputs must be row-sorted ``uint32``; the result is each row's
+    sorted merge, computed with two rank-scatter passes instead of an
+    ``O((k+j) log(k+j))`` re-sort per row — the incremental path a
+    day-batch of new trial columns takes into an existing ensemble.
+    """
+    rows = _check_matrix(rows)
+    batch = _check_matrix(batch)
+    if rows.shape[0] != batch.shape[0]:
+        raise ValueError(
+            f"row-count mismatch: {rows.shape[0]} != {batch.shape[0]}"
+        )
+    trials, width = rows.shape
+    out = np.empty((trials, width + batch.shape[1]), dtype=np.uint32)
+    if out.size == 0:
+        return out
+    obs_metrics.inc("kernels.merge_sorted_rows.trials", trials)
+    row_index = np.arange(trials)[:, None]
+    pos_rows = _rowwise_searchsorted(batch, rows, side="left") + np.arange(width)
+    pos_batch = (
+        _rowwise_searchsorted(rows, batch, side="right")
+        + np.arange(batch.shape[1])
+    )
+    out[row_index, pos_rows] = rows
+    out[row_index, pos_batch] = batch
+    return out
+
+
+def _new_in_rows(rows_masked: np.ndarray, batch_masked: np.ndarray) -> np.ndarray:
+    """Which batch cells start a block absent from the existing rows.
+
+    Both operands are row-sorted masked matrices; a batch cell counts
+    iff it is its row's first occurrence within the batch *and* not a
+    member of the corresponding existing row.
+    """
+    new = _first_in_row(batch_masked)
+    if rows_masked.shape[1] == 0:
+        return new
+    idx = _rowwise_searchsorted(rows_masked, batch_masked, side="left")
+    clipped = np.minimum(idx, rows_masked.shape[1] - 1)
+    member = (idx < rows_masked.shape[1]) & (
+        np.take_along_axis(rows_masked, clipped, axis=1) == batch_masked
+    )
+    return new & ~member
+
+
+def block_counts_2d_merge(
+    prev_counts: np.ndarray,
+    rows: np.ndarray,
+    batch: np.ndarray,
+    prefixes: Sequence[int],
+) -> np.ndarray:
+    """Update :func:`block_counts_2d` for ``merge_sorted_rows(rows, batch)``.
+
+    ``prev_counts`` must be ``block_counts_2d(rows, prefixes)``; the
+    incremental cost is proportional to the batch width, not the merged
+    width — the whole point of folding day-batches instead of
+    recounting the window.
+    """
+    rows = _check_matrix(rows)
+    batch = _check_matrix(batch)
+    prefixes = tuple(prefixes)
+    out = np.array(prev_counts, dtype=np.int64, copy=True)
+    if batch.size == 0:
+        return out
+    obs_metrics.inc("kernels.block_counts_2d_merge.trials", batch.shape[0])
+    for column, n in enumerate(prefixes):
+        fresh = _new_in_rows(mask_array(rows, n), mask_array(batch, n))
+        out[:, column] += np.count_nonzero(fresh, axis=1)
+    return out
+
+
+def intersection_counts_2d_merge(
+    prev_counts: np.ndarray,
+    rows: np.ndarray,
+    batch: np.ndarray,
+    blocks_by_prefix: Sequence[np.ndarray],
+    prefixes: Sequence[int],
+    weights_by_prefix: Optional[Sequence[np.ndarray]] = None,
+) -> np.ndarray:
+    """Update :func:`intersection_counts_2d` after merging ``batch`` in.
+
+    ``prev_counts`` must be the intersection counts of ``rows`` against
+    the same fixed per-prefix block sets (and weights, if any); only
+    blocks newly contributed by the batch can add to the counts, so the
+    update touches batch-width cells per prefix.
+    """
+    rows = _check_matrix(rows)
+    batch = _check_matrix(batch)
+    prefixes = tuple(prefixes)
+    if len(blocks_by_prefix) != len(prefixes):
+        raise ValueError(
+            f"{len(blocks_by_prefix)} block sets for {len(prefixes)} prefixes"
+        )
+    if weights_by_prefix is not None and len(weights_by_prefix) != len(prefixes):
+        raise ValueError(
+            f"{len(weights_by_prefix)} weight sets for {len(prefixes)} prefixes"
+        )
+    out = np.array(prev_counts, dtype=np.int64, copy=True)
+    if batch.size == 0:
+        return out
+    obs_metrics.inc(
+        "kernels.intersection_counts_2d_merge.trials", batch.shape[0]
+    )
+    for column, n in enumerate(prefixes):
+        blocks = np.asarray(blocks_by_prefix[column])
+        if blocks.size == 0:
+            continue
+        masked = mask_array(batch, n)
+        hit = _new_in_rows(mask_array(rows, n), masked)
+        idx = np.searchsorted(blocks, masked)
+        np.minimum(idx, blocks.size - 1, out=idx)
+        hit &= blocks[idx] == masked
+        if weights_by_prefix is None:
+            out[:, column] += np.count_nonzero(hit, axis=1)
+        else:
+            weights = np.asarray(weights_by_prefix[column], dtype=np.int64)
+            out[:, column] += np.where(hit, weights[idx], 0).sum(axis=1)
     return out

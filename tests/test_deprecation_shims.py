@@ -1,0 +1,110 @@
+"""Deprecation shims: once-per-name warnings, identical results.
+
+Two shim layers survive earlier refactors: ``repro.core.cidr`` wrappers
+that moved to :mod:`repro.ipspace.cidr`, and legacy top-level names
+(``repro.PaperScenario`` and friends) served lazily by
+``repro.__getattr__``.  Both must warn exactly once per name and return
+exactly what the canonical home returns.
+"""
+
+import importlib
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import cidr as core_cidr
+from repro.ipspace import cidr as ipspace_cidr
+
+
+@pytest.fixture
+def reset_warned():
+    """Clear the once-per-name registries so each test observes a
+    first use, restoring them afterwards."""
+    saved_core = set(core_cidr._WARNED)
+    saved_legacy = set(repro._LEGACY_WARNED)
+    core_cidr._WARNED.clear()
+    repro._LEGACY_WARNED.clear()
+    yield
+    core_cidr._WARNED.clear()
+    core_cidr._WARNED.update(saved_core)
+    repro._LEGACY_WARNED.clear()
+    repro._LEGACY_WARNED.update(saved_legacy)
+
+
+class TestCoreCidrBlockCount:
+    def test_warns_once_per_name(self, reset_warned, small_scenario):
+        report = small_scenario.report("bot")
+        with pytest.warns(DeprecationWarning, match="repro.ipspace.cidr"):
+            core_cidr.block_count(report, 24)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            core_cidr.block_count(report, 24)  # second use: silent
+
+    def test_result_identical_to_canonical(self, reset_warned, small_scenario):
+        report = small_scenario.report("unclean")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for prefix_len in (8, 16, 24, 32):
+                assert core_cidr.block_count(report, prefix_len) == (
+                    ipspace_cidr.block_count(report, prefix_len)
+                )
+
+    def test_block_counts_helper_matches_shim(self, reset_warned,
+                                              small_scenario):
+        report = small_scenario.report("spam")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            table = core_cidr.block_counts(report, (16, 24))
+            assert table == {
+                16: core_cidr.block_count(report, 16),
+                24: core_cidr.block_count(report, 24),
+            }
+
+
+class TestLegacyTopLevelNames:
+    def test_warns_once_per_name(self, reset_warned):
+        with pytest.warns(DeprecationWarning, match="repro.core.scenario"):
+            repro.PaperScenario
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            repro.PaperScenario  # second access: silent
+        # A different legacy name still gets its own first warning.
+        with pytest.warns(DeprecationWarning, match="repro.core.report"):
+            repro.ReportType
+
+    def test_legacy_names_resolve_to_canonical_objects(self, reset_warned):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for name, (module_name, attr) in repro._LEGACY.items():
+                canonical = getattr(importlib.import_module(module_name), attr)
+                assert getattr(repro, name) is canonical, name
+
+    def test_unknown_name_raises_attribute_error(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_a_thing
+
+    def test_dir_lists_legacy_names(self):
+        listing = dir(repro)
+        assert "PaperScenario" in listing
+        assert "UncleanlinessScorer" in listing
+
+    def test_legacy_scorer_behaves_identically(self, reset_warned,
+                                               small_scenario):
+        """A legacy deep import is the canonical class: same scores."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy_scorer = repro.UncleanlinessScorer
+        from repro.core.uncleanliness import UncleanlinessScorer
+
+        assert legacy_scorer is UncleanlinessScorer
+        from repro.core.report import DataClass
+
+        reports = {
+            DataClass.BOTS: small_scenario.report("bot"),
+            DataClass.SPAM: small_scenario.report("spam"),
+        }
+        a = legacy_scorer(prefix_len=24).score(reports)
+        b = UncleanlinessScorer(prefix_len=24).score(reports)
+        assert np.array_equal(a.scores, b.scores)

@@ -1,0 +1,327 @@
+"""Service lifecycle, api facade and CLI tests for the streaming layer.
+
+Covers the durability contract (day-then-head checkpoints, resume from
+the newest committed day, corrupt/missing checkpoints degrade to a cold
+start), the ``repro.api`` query facade with its bounded service cache,
+and the ``uncleanliness ingest`` / ``serve`` CLI verbs end to end.
+"""
+
+import io
+import re
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.cli import main
+from repro.engine.store import ArrayCodec, ArtifactStore
+from repro.obs import metrics as obs_metrics
+from repro.sim.timeline import PAPER_WINDOWS
+from repro.stream import StreamConfig, UncleanlinessService, day_batches
+from repro.stream.checkpoint import day_key, head_key
+
+
+def _counter(name: str) -> int:
+    return obs_metrics.registry().counter(name).snapshot()["value"]
+
+
+@pytest.fixture
+def stream_config():
+    return StreamConfig(window=PAPER_WINDOWS.OCTOBER)
+
+
+@pytest.fixture
+def disk_store(tmp_path):
+    return ArtifactStore(max_memory_items=8, disk_dir=tmp_path / "cache")
+
+
+class TestCheckpointResume:
+    def _fold(self, service, traffic, days):
+        for batch in day_batches(traffic, from_day=service.cursor + 1):
+            if days is not None and batch.day >= service.config.window.start_day + days:
+                break
+            service.ingest(batch)
+
+    def test_resume_restores_committed_state(
+        self, stream_config, disk_store, tiny_traffic
+    ):
+        service = UncleanlinessService(
+            stream_config, source="t", store=disk_store
+        )
+        self._fold(service, tiny_traffic, days=3)
+        assert service.cursor == PAPER_WINDOWS.OCTOBER.start_day + 2
+
+        resumed = UncleanlinessService.resume(
+            stream_config, source="t", store=disk_store
+        )
+        assert resumed.cursor == service.cursor
+        assert np.array_equal(
+            resumed.scores().scores, service.scores().scores
+        )
+
+        # Folding the rest from the checkpoint equals folding straight
+        # through — the durability layer is invisible to the math.
+        self._fold(resumed, tiny_traffic, days=None)
+        straight = UncleanlinessService(
+            stream_config, source="t2", store=disk_store
+        )
+        self._fold(straight, tiny_traffic, days=None)
+        assert np.array_equal(
+            resumed.scores().scores, straight.scores().scores
+        )
+        assert np.array_equal(resumed.blocklist(), straight.blocklist())
+
+    def test_cold_start_when_no_checkpoint(self, stream_config, disk_store):
+        service = UncleanlinessService.resume(
+            stream_config, source="nothing-here", store=disk_store
+        )
+        assert service.cursor == PAPER_WINDOWS.OCTOBER.start_day - 1
+        assert service.state.days_ingested == 0
+
+    def test_missing_day_checkpoint_degrades_cold(
+        self, stream_config, disk_store, tmp_path, tiny_traffic
+    ):
+        service = UncleanlinessService(
+            stream_config, source="t", store=disk_store
+        )
+        self._fold(service, tiny_traffic, days=2)
+        # Delete the day checkpoints but leave the head pointer; a fresh
+        # store (empty memory tier) must fall back to a cold start.
+        for path in (tmp_path / "cache").iterdir():
+            if ".stream.day-" in path.name:
+                path.unlink()
+        fresh = ArtifactStore(max_memory_items=8, disk_dir=tmp_path / "cache")
+        before = _counter("stream.resume.missing_checkpoint")
+        resumed = UncleanlinessService.resume(
+            stream_config, source="t", store=fresh
+        )
+        assert resumed.state.days_ingested == 0
+        assert _counter("stream.resume.missing_checkpoint") == before + 1
+
+    def test_corrupt_checkpoint_quarantined_and_cold(
+        self, stream_config, disk_store, tmp_path, tiny_traffic
+    ):
+        service = UncleanlinessService(
+            stream_config, source="t", store=disk_store
+        )
+        self._fold(service, tiny_traffic, days=1)
+        day = PAPER_WINDOWS.OCTOBER.start_day
+        base = ArtifactStore._base_name(day_key(service.fingerprint, day))
+        payloads = [
+            path for path in (tmp_path / "cache").iterdir()
+            if path.name.startswith(base) and not path.name.endswith(".json")
+        ]
+        assert payloads, "expected an on-disk day checkpoint payload"
+        payloads[0].write_bytes(b"garbage")
+
+        fresh = ArtifactStore(max_memory_items=8, disk_dir=tmp_path / "cache")
+        resumed = UncleanlinessService.resume(
+            stream_config, source="t", store=fresh
+        )
+        assert resumed.state.days_ingested == 0
+        assert fresh.quarantined >= 1
+        assert fresh.info()["quarantine_files"] >= 1
+
+    def test_resume_honours_head_pointer(
+        self, stream_config, disk_store, tiny_traffic
+    ):
+        """The head names the committed day; later uncommitted
+        checkpoints are ignored (crash between day and head writes)."""
+        service = UncleanlinessService(
+            stream_config, source="t", store=disk_store
+        )
+        self._fold(service, tiny_traffic, days=2)
+        first_day = PAPER_WINDOWS.OCTOBER.start_day
+        disk_store.put(
+            head_key(service.fingerprint),
+            np.asarray([first_day], dtype=np.int64),
+            ArrayCodec(),
+        )
+        resumed = UncleanlinessService.resume(
+            stream_config, source="t", store=disk_store
+        )
+        assert resumed.cursor == first_day
+        assert resumed.state.days_ingested == 1
+
+    def test_checkpointing_disabled_writes_nothing(
+        self, stream_config, disk_store, tiny_traffic
+    ):
+        service = UncleanlinessService(
+            stream_config, source="t", store=disk_store, checkpointing=False
+        )
+        self._fold(service, tiny_traffic, days=2)
+        assert disk_store.puts == 0
+        assert disk_store.info()["stream_checkpoints"] == 0
+
+    def test_store_info_counts_stream_checkpoints(
+        self, stream_config, disk_store, tiny_traffic
+    ):
+        service = UncleanlinessService(
+            stream_config, source="t", store=disk_store
+        )
+        self._fold(service, tiny_traffic, days=3)
+        assert disk_store.info()["stream_checkpoints"] == 3
+
+
+class TestApiFacade:
+    def test_stream_service_reaches_head(self, small_scenario):
+        service = api.stream_service(small_scenario)
+        assert service.cursor == PAPER_WINDOWS.OCTOBER.end_day
+        assert len(service.scores()) > 0
+        assert service.blocklist().size > 0
+
+    def test_service_shared_per_fingerprint(self, small_scenario):
+        first = api.stream_service(small_scenario)
+        second = api.stream_service(small_scenario)
+        assert first is second
+
+    def test_score_matches_top_blocks(self, small_scenario):
+        rows = api.top_blocks(5, small_scenario)
+        assert len(rows) == 5
+        for row in rows:
+            address = row["block"].split("/")[0]
+            assert api.score(address, small_scenario) == pytest.approx(
+                row["score"], abs=5e-5
+            )
+
+    def test_is_blocked_follows_threshold(self, small_scenario):
+        service = api.stream_service(small_scenario)
+        scores = service.scores()
+        listed = scores.blocks[scores.scores >= 0.5]
+        unlisted = scores.blocks[scores.scores < 0.5]
+        assert listed.size and unlisted.size
+        assert api.is_blocked(int(listed[0]), small_scenario)
+        assert not api.is_blocked(int(unlisted[0]), small_scenario)
+        # Unreported space scores 0.0 and is never blocked.
+        assert api.score("203.0.113.9", small_scenario) == 0.0
+        assert not api.is_blocked("203.0.113.9", small_scenario)
+
+    def test_scenario_and_flags_conflict(self, small_scenario):
+        with pytest.raises(ValueError, match="not both"):
+            api.stream_service(small_scenario, small=True)
+
+
+class TestLRUCache:
+    def test_evicts_least_recently_used(self):
+        cache = api._LRUCache(capacity=2, metric="test.cache.evictions")
+        before = _counter("test.cache.evictions")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh 'a'; 'b' is now the victim
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert _counter("test.cache.evictions") == before + 1
+
+    def test_put_existing_key_does_not_evict(self):
+        cache = api._LRUCache(capacity=2, metric="test.cache.evictions")
+        before = _counter("test.cache.evictions")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert cache.get("a") == 10
+        assert "b" in cache
+        assert _counter("test.cache.evictions") == before
+
+    def test_capacity_below_one_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            api._LRUCache(capacity=0, metric="test.cache.evictions")
+
+    def test_capacity_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCENARIO_CACHE_SIZE", "3")
+        assert api._cache_capacity("REPRO_SCENARIO_CACHE_SIZE", 8) == 3
+        monkeypatch.setenv("REPRO_SCENARIO_CACHE_SIZE", "junk")
+        assert api._cache_capacity("REPRO_SCENARIO_CACHE_SIZE", 8) == 8
+        monkeypatch.delenv("REPRO_SCENARIO_CACHE_SIZE")
+        assert api._cache_capacity("REPRO_SCENARIO_CACHE_SIZE", 8) == 8
+
+    def test_clear_scenario_cache_clears_both_tiers(self, small_scenario):
+        api.stream_service(small_scenario)
+        assert len(api._SERVICES) > 0
+        api.clear_scenario_cache()
+        assert len(api._SERVICES) == 0
+        assert len(api._SCENARIOS) == 0
+
+
+@pytest.fixture
+def fresh_stream_env(tmp_path):
+    """A private cache dir + cleared facade caches, restored afterwards.
+
+    The ingest tests need to observe a cold stream; the session-shared
+    default store may already hold the small scenario's checkpoints.
+    """
+    import os
+
+    from repro.core.stages import reset_scenario_engine
+    from repro.engine.store import reset_default_store
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path / "cli-cache")
+    api.clear_scenario_cache()
+    reset_default_store()
+    reset_scenario_engine()
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+    api.clear_scenario_cache()
+    reset_default_store()
+    reset_scenario_engine()
+
+
+class TestCLI:
+    def test_ingest_resume_serve_roundtrip(self, monkeypatch, capsys,
+                                           fresh_stream_env):
+        assert main(["ingest", "--small", "--days", "2"]) == 0
+        out = capsys.readouterr().out
+        assert f"day {PAPER_WINDOWS.OCTOBER.start_day}:" in out
+        assert "ingested 2 day(s)" in out
+        assert "behind head" in out
+
+        # Second run resumes at the checkpoint and reaches the head.
+        assert main(["ingest", "--small"]) == 0
+        out = capsys.readouterr().out
+        assert f"day {PAPER_WINDOWS.OCTOBER.start_day}:" not in out
+        assert "(at head)" in out
+
+        # Third run is a no-op.
+        assert main(["ingest", "--small"]) == 0
+        assert "nothing to ingest" in capsys.readouterr().out
+
+        # The cache knows about the committed day checkpoints.
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        match = re.search(r"stream ckpts:\s+(\d+) day checkpoint", out)
+        assert match, out
+        assert int(match.group(1)) >= PAPER_WINDOWS.OCTOBER.num_days
+        assert re.search(r"quarantine:\s+\d+ file", out)
+
+        # Serve answers from the warm index over stdin.
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("info\nscore 10.0.0.1\nblocked 10.0.0.1\nquit\n")
+        )
+        assert main(["serve", "--small"]) == 0
+        out = capsys.readouterr().out
+        assert "serving window" in out
+        assert "cursor: 286" in out
+        assert re.search(r"10\.0\.0\.1 \d\.\d{4}", out)
+        assert re.search(r"10\.0\.0\.1 (blocked|allowed)", out)
+        assert "served 2 lookup(s)" in out
+
+    def test_serve_top_and_unknown_command(self, monkeypatch, capsys,
+                                           small_scenario):
+        monkeypatch.setattr("sys.stdin", io.StringIO("top 3\nbogus\nquit\n"))
+        assert main(["serve", "--small"]) == 2
+        captured = capsys.readouterr()
+        assert len(re.findall(r"score=0\.\d+", captured.out)) == 3
+        assert "unknown command: bogus" in captured.err
+
+    def test_serve_rejects_malformed_address(self, monkeypatch, capsys,
+                                             small_scenario):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("score not.an.ip\nquit\n")
+        )
+        assert main(["serve", "--small"]) == 2
+        assert "?" in capsys.readouterr().err
