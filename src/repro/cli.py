@@ -185,6 +185,8 @@ def _run_cache(args: argparse.Namespace) -> int:
               f"{info['disk_hits']} disk; misses: {info['misses']}")
         print(f"  stream ckpts:   {info['stream_checkpoints']} "
               f"day checkpoint(s)")
+        print(f"  flow chunks:    {info['flow_chunks']} chunk(s) "
+              f"({info['flow_chunk_bytes']} bytes)")
         print(f"  quarantine:     {info['quarantine_files']} file(s)")
         return 0
     if action == "clear":

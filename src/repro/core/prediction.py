@@ -150,6 +150,28 @@ class IntersectionStatistic:
     def per_trial(self, subset: Report) -> List[int]:
         return _intersection_vector(subset, self.present_blocks, self.prefixes)
 
+    # -- shared-array protocol (repro.core.sampling shm handoff) ----------
+    # The block sets are the statistic's heavy payload; shipping them to
+    # Monte-Carlo workers by shared-memory handle instead of per-chunk
+    # pickle is what these three hooks enable.
+
+    def shared_arrays(self) -> dict:
+        return {
+            f"blocks{i}": np.ascontiguousarray(blocks)
+            for i, blocks in enumerate(self.present_blocks)
+        }
+
+    def without_shared_arrays(self) -> "IntersectionStatistic":
+        return IntersectionStatistic(prefixes=self.prefixes, present_blocks=())
+
+    def with_shared_arrays(self, arrays: dict) -> "IntersectionStatistic":
+        return IntersectionStatistic(
+            prefixes=self.prefixes,
+            present_blocks=tuple(
+                arrays[f"blocks{i}"] for i in range(len(self.prefixes))
+            ),
+        )
+
 
 def prediction_test(
     past: Report,

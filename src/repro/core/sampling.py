@@ -51,9 +51,15 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX
+    _resource = None  # type: ignore[assignment]
 
 from repro.core.report import DataClass, Report, ReportType
 from repro.core.trials import TrialEnsemble, is_batched, trial_seed
@@ -77,6 +83,163 @@ log = logging.getLogger("repro.engine.sampling")
 
 #: Environment override for the default Monte-Carlo worker count.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Set to ``0``/``false``/``off`` to disable the shared-memory worker
+#: handoff and always pickle the evaluation into each chunk.
+SHM_ENV = "REPRO_SHM"
+
+
+def _shm_enabled() -> bool:
+    return os.environ.get(SHM_ENV, "").strip().lower() not in {"0", "false", "off"}
+
+
+def _peak_rss_kb() -> int:
+    """This process's lifetime peak resident set, in KB (0 if unknown)."""
+    if _resource is None:  # pragma: no cover - non-POSIX
+        return 0
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+
+
+# -- shared-memory shipment ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SharedReport:
+    """A control :class:`Report` whose address column travels by handle.
+
+    Pickles as a few hundred bytes; :meth:`resolve` attaches the shared
+    segment in the worker and rebuilds the report once per process.
+    """
+
+    handle: "object"  # repro.engine.shm.SharedHandle
+    key: str
+    tag: str
+    report_type: object
+    data_class: object
+    period: object
+
+    @classmethod
+    def pack(cls, report: Report, handle, key: str) -> "_SharedReport":
+        return cls(
+            handle=handle,
+            key=key,
+            tag=report.tag,
+            report_type=report.report_type,
+            data_class=report.data_class,
+            period=report.period,
+        )
+
+    def resolve(self) -> Report:
+        cached = _RESOLVED.get((self.handle.name, self.key))
+        if cached is not None:
+            return cached
+        from repro.engine import shm
+
+        addresses = shm.attach(self.handle)[self.key]
+        report = Report(
+            tag=self.tag,
+            addresses=addresses,
+            report_type=self.report_type,
+            data_class=self.data_class,
+            period=self.period,
+        )
+        _RESOLVED[(self.handle.name, self.key)] = report
+        return report
+
+
+@dataclass(frozen=True)
+class _SharedStatistic:
+    """A statistic whose hot arrays travel by handle.
+
+    ``stripped`` is the statistic with its shared arrays removed (the
+    ``without_shared_arrays`` protocol), so the pickled payload carries
+    only scalars; the worker re-attaches the arrays with
+    ``with_shared_arrays`` once per process.
+    """
+
+    handle: "object"
+    prefix: str
+    stripped: Callable
+
+    @classmethod
+    def pack(cls, statistic: Callable, handle, prefix: str) -> "_SharedStatistic":
+        return cls(
+            handle=handle,
+            prefix=prefix,
+            stripped=statistic.without_shared_arrays(),
+        )
+
+    def resolve(self) -> Callable:
+        cached = _RESOLVED.get((self.handle.name, self.prefix))
+        if cached is not None:
+            return cached
+        from repro.engine import shm
+
+        views = shm.attach(self.handle)
+        arrays = {
+            key[len(self.prefix):]: view
+            for key, view in views.items()
+            if key.startswith(self.prefix)
+        }
+        statistic = self.stripped.with_shared_arrays(arrays)
+        _RESOLVED[(self.handle.name, self.prefix)] = statistic
+        return statistic
+
+
+#: Per-worker-process resolution cache: (segment, key) -> rebuilt object.
+_RESOLVED: Dict[Tuple[str, str], object] = {}
+
+
+def _shares_arrays(statistic: Callable) -> bool:
+    """Whether ``statistic`` implements the shared-array protocol
+    (``shared_arrays`` / ``without_shared_arrays`` / ``with_shared_arrays``)."""
+    return all(
+        callable(getattr(statistic, name, None))
+        for name in ("shared_arrays", "without_shared_arrays", "with_shared_arrays")
+    )
+
+
+def _resolve_shipment(control, statistic) -> Tuple[Report, Callable]:
+    """Undo the shared-memory wrapping inside a worker (no-op otherwise)."""
+    if isinstance(control, _SharedReport):
+        control = control.resolve()
+    if isinstance(statistic, _SharedStatistic):
+        statistic = statistic.resolve()
+    return control, statistic
+
+
+def _prepare_shipment(control: Report, statistic: Callable):
+    """Pack the evaluation's hot arrays into one shared segment.
+
+    Returns ``(control, statistic, pack)`` — the first two possibly
+    wrapped for cheap pickling, ``pack`` owned by the caller (unlink
+    after the evaluation).  Any failure falls back to plain pickling
+    with a warning: the transport must never change the results.
+    """
+    from repro.engine import shm
+
+    if not (shm.available() and _shm_enabled()):
+        return control, statistic, None
+    arrays: Dict[str, np.ndarray] = {"control.addresses": control.addresses}
+    stat_arrays: Dict[str, np.ndarray] = {}
+    if _shares_arrays(statistic):
+        stat_arrays = dict(statistic.shared_arrays())
+        arrays.update({f"stat.{key}": value for key, value in stat_arrays.items()})
+    try:
+        pack = shm.SharedPack.create(arrays)
+    except Exception as err:  # pragma: no cover - platform specific
+        warn_event(
+            "mc.shm.failed",
+            f"shared-memory handoff unavailable ({err!r}); pickling instead",
+            logger=log,
+        )
+        return control, statistic, None
+    shipped_control = _SharedReport.pack(control, pack.handle, "control.addresses")
+    shipped_statistic = statistic
+    if stat_arrays:
+        shipped_statistic = _SharedStatistic.pack(statistic, pack.handle, "stat.")
+    obs_metrics.inc("mc.shm.bytes_shared", pack.handle.nbytes)
+    return shipped_control, shipped_statistic, pack
 
 
 class MonteCarloFailure(RuntimeError):
@@ -214,6 +377,7 @@ def _run_chunk(
     faults.check("worker.crash")
     faults.check("worker.fail")
     faults.check("worker.slow")
+    control, statistic = _resolve_shipment(control, statistic)
     if is_batched(statistic):
         ensemble = TrialEnsemble.draw(
             control, size, stop - start, entropy, spawn_key, start=start
@@ -234,19 +398,22 @@ def _run_chunk_traced(
     spawn_key: Tuple[int, ...],
     statistic: Callable,
     traced: bool = False,
-) -> Tuple[np.ndarray, Optional[dict]]:
+) -> Tuple[np.ndarray, Optional[dict], int]:
     """:func:`_run_chunk` plus an optional serialised worker span.
 
     Worker processes cannot share the supervisor's tracer, so when
     ``traced`` each chunk times itself in a private tracer and ships the
     finished span back as a dict for the supervisor to
-    :func:`repro.obs.trace.attach` into the live tree.
+    :func:`repro.obs.trace.attach` into the live tree.  The worker's
+    peak RSS (KB) rides along either way, feeding the supervisor's
+    ``mc.worker.peak_rss_kb`` gauge.
     """
+    control, statistic = _resolve_shipment(control, statistic)
     if not traced:
-        return (
-            _run_chunk(control, size, start, stop, entropy, spawn_key, statistic),
-            None,
+        values = _run_chunk(
+            control, size, start, stop, entropy, spawn_key, statistic
         )
+        return values, None, _peak_rss_kb()
     worker_tracer = obs_trace.Tracer(enabled=True)
     with worker_tracer.span(
         "mc.chunk",
@@ -258,7 +425,7 @@ def _run_chunk_traced(
         values = _run_chunk(
             control, size, start, stop, entropy, spawn_key, statistic
         )
-    return values, worker_tracer.roots[-1].to_dict()
+    return values, worker_tracer.roots[-1].to_dict(), _peak_rss_kb()
 
 
 def _sanitized_name(name: str) -> str:
@@ -426,63 +593,90 @@ def _supervised_monte_carlo(
                 len(results), len(spans), prefix,
             )
 
+    # Ship the hot arrays (control addresses, statistic block sets) to
+    # workers through one shared-memory segment; each chunk submission
+    # then pickles a handle instead of megabytes of columns.  Falls back
+    # to plain pickling transparently when shm is unavailable.
+    ship_control, ship_statistic, pack = _prepare_shipment(control, statistic)
+    hot_bytes = int(control.addresses.nbytes)
+    if _shares_arrays(statistic):
+        hot_bytes += int(
+            sum(np.asarray(a).nbytes for a in statistic.shared_arrays().values())
+        )
+
     pending = [span for span in spans if span not in results]
     attempts = 0
     pool_broken = False
+    worker_peak_rss = 0
     traced = obs_trace.enabled()
-    while pending and not pool_broken and attempts <= max_chunk_retries:
-        if attempts:
-            obs_metrics.inc("mc.chunk_retries", len(pending))
-            log.warning(
-                "monte_carlo retrying chunks=%d on a fresh pool attempt=%d",
-                len(pending), attempts,
-            )
-        pool = ProcessPoolExecutor(max_workers=workers)
-        wait_for_pool = True
-        try:
-            futures = {
-                pool.submit(
-                    _run_chunk_traced,
-                    control, size, lo, hi, entropy, spawn_key, statistic,
-                    traced,
-                ): (lo, hi)
-                for lo, hi in pending
-            }
-            for future, span in futures.items():
-                try:
-                    values, span_dict = future.result(timeout=chunk_timeout)
-                except BrokenProcessPool:
-                    pool_broken = True
-                    break
-                except FuturesTimeoutError:
-                    log.warning(
-                        "monte_carlo chunk %s timed out after %.1fs",
-                        span, chunk_timeout,
-                    )
-                    # A hung worker would block the pool's exit; abandon
-                    # the whole pool and let the retry loop replace it.
-                    wait_for_pool = False
-                    break
-                except Exception as err:
-                    log.warning(
-                        "monte_carlo chunk %s failed err=%r", span, err
-                    )
-                else:
-                    if span_dict is not None:
-                        obs_trace.attach(span_dict)
-                        obs_metrics.observe(
-                            "mc.chunk_seconds", float(span_dict["wall"])
+    try:
+        while pending and not pool_broken and attempts <= max_chunk_retries:
+            if attempts:
+                obs_metrics.inc("mc.chunk_retries", len(pending))
+                log.warning(
+                    "monte_carlo retrying chunks=%d on a fresh pool attempt=%d",
+                    len(pending), attempts,
+                )
+            pool = ProcessPoolExecutor(max_workers=workers)
+            wait_for_pool = True
+            if pack is not None:
+                obs_metrics.inc("mc.shm.bytes_avoided", hot_bytes * len(pending))
+            else:
+                obs_metrics.inc("mc.pickle.bytes_shipped", hot_bytes * len(pending))
+            try:
+                futures = {
+                    pool.submit(
+                        _run_chunk_traced,
+                        ship_control, size, lo, hi, entropy, spawn_key,
+                        ship_statistic, traced,
+                    ): (lo, hi)
+                    for lo, hi in pending
+                }
+                for future, span in futures.items():
+                    try:
+                        values, span_dict, rss_kb = future.result(
+                            timeout=chunk_timeout
                         )
-                    arr = np.asarray(values, dtype=float)
-                    results[span] = arr
-                    if store is not None:
-                        store.put(_chunk_key(span), arr, codec)
-        except BrokenProcessPool:
-            pool_broken = True
-        finally:
-            pool.shutdown(wait=wait_for_pool, cancel_futures=True)
-        pending = [span for span in spans if span not in results]
-        attempts += 1
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        break
+                    except FuturesTimeoutError:
+                        log.warning(
+                            "monte_carlo chunk %s timed out after %.1fs",
+                            span, chunk_timeout,
+                        )
+                        # A hung worker would block the pool's exit; abandon
+                        # the whole pool and let the retry loop replace it.
+                        wait_for_pool = False
+                        break
+                    except Exception as err:
+                        log.warning(
+                            "monte_carlo chunk %s failed err=%r", span, err
+                        )
+                    else:
+                        if span_dict is not None:
+                            obs_trace.attach(span_dict)
+                            obs_metrics.observe(
+                                "mc.chunk_seconds", float(span_dict["wall"])
+                            )
+                        if rss_kb > worker_peak_rss:
+                            worker_peak_rss = rss_kb
+                            obs_metrics.set_gauge(
+                                "mc.worker.peak_rss_kb", worker_peak_rss
+                            )
+                        arr = np.asarray(values, dtype=float)
+                        results[span] = arr
+                        if store is not None:
+                            store.put(_chunk_key(span), arr, codec)
+            except BrokenProcessPool:
+                pool_broken = True
+            finally:
+                pool.shutdown(wait=wait_for_pool, cancel_futures=True)
+            pending = [span for span in spans if span not in results]
+            attempts += 1
+    finally:
+        if pack is not None:
+            pack.unlink()
 
     if pending:
         obs_metrics.inc("mc.serial_fallback", len(pending))
@@ -506,4 +700,5 @@ def _supervised_monte_carlo(
     if store is not None:
         for span in spans:
             store.drop(_chunk_key(span))
+    obs_metrics.set_gauge("mc.supervisor.peak_rss_kb", _peak_rss_kb())
     return out

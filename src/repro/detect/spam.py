@@ -21,6 +21,7 @@ flow data alone (NetFlow has no payload):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Union
 
 import numpy as np
 
@@ -29,7 +30,10 @@ from repro.flows.log import FlowLog
 from repro.flows.record import Protocol
 from repro.ipspace.kernels import merge_unique
 
-__all__ = ["SpamDetectorConfig", "SpamDetector", "SpamAggregates"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.flows.chunked import ChunkedFlowLog
+
+__all__ = ["SpamDetectorConfig", "SpamDetector", "SpamAggregates", "SpamPartial"]
 
 _SMTP_PORT = 25
 _DAY_SECONDS = 86_400.0
@@ -167,6 +171,141 @@ class SpamAggregates:
         return self.sources[mask].astype(np.uint32)
 
 
+@dataclass(frozen=True)
+class SpamPartial:
+    """Any-split mergeable accumulator behind :meth:`SpamDetector.detect_chunked`.
+
+    :class:`SpamAggregates.merge` requires operands covering disjoint
+    day sets (it adds ``active_days`` blindly), which arbitrary
+    positional chunks of a flow log violate — the same day routinely
+    straddles a chunk boundary.  This partial instead carries the
+    *distinct ``(source, day)`` table itself* (kept sorted and
+    deduplicated at every merge), so active-day counts are computed once
+    at :meth:`finalize` and any split of the log — by day, by size, or
+    mid-day — folds to bit-identical statistics.
+    """
+
+    sources: np.ndarray  # sorted unique uint32
+    messages: np.ndarray  # int64: SMTP deliveries per source
+    size_sums: np.ndarray  # float64 (exact): sum of delivery sizes
+    size_sq_sums: np.ndarray  # float64 (exact): sum of squared sizes
+    day_sources: np.ndarray  # uint32: distinct (source, day) pairs,
+    day_values: np.ndarray  # int64:  lex-sorted parallel columns
+
+    @classmethod
+    def empty(cls) -> "SpamPartial":
+        return cls(
+            sources=np.asarray([], dtype=np.uint32),
+            messages=np.asarray([], dtype=np.int64),
+            size_sums=np.asarray([], dtype=np.float64),
+            size_sq_sums=np.asarray([], dtype=np.float64),
+            day_sources=np.asarray([], dtype=np.uint32),
+            day_values=np.asarray([], dtype=np.int64),
+        )
+
+    @classmethod
+    def from_flows(cls, flows: FlowLog) -> "SpamPartial":
+        """Accumulate the SMTP deliveries of any span of flows."""
+        smtp_mask = (
+            (flows.protocol == Protocol.TCP)
+            & (flows.dst_port == _SMTP_PORT)
+            & flows.payload_bearing_mask()
+        )
+        smtp = flows.select(smtp_mask)
+        if len(smtp) == 0:
+            return cls.empty()
+
+        sources, inverse = np.unique(smtp.src_addr, return_inverse=True)
+        counts = np.bincount(inverse, minlength=sources.size)
+        days = (smtp.start_time // _DAY_SECONDS).astype(np.int64)
+        pairs = np.unique(np.stack([inverse, days], axis=1), axis=0)
+        sizes = smtp.octets.astype(np.float64)
+        return cls(
+            sources=sources.astype(np.uint32),
+            messages=counts.astype(np.int64),
+            size_sums=np.bincount(inverse, weights=sizes, minlength=sources.size),
+            size_sq_sums=np.bincount(
+                inverse, weights=sizes**2, minlength=sources.size
+            ),
+            day_sources=sources[pairs[:, 0]].astype(np.uint32),
+            day_values=pairs[:, 1],
+        )
+
+    def merge(self, other: "SpamPartial") -> "SpamPartial":
+        """Fold in a partial covering any other span (overlap allowed)."""
+        return self.merge_all([self, other])
+
+    @classmethod
+    def merge_all(cls, parts: "Iterable[SpamPartial]") -> "SpamPartial":
+        """Merge any number of partials in one grouped reduction.
+
+        Per-source sums are exact (integer-valued float64 well below
+        2**53) in any order, and the day table is a set union, so one
+        reduction over the concatenated partials is bit-identical to
+        chained pairwise :meth:`merge` calls.
+        """
+        parts = [p for p in parts if p.sources.size]
+        if not parts:
+            return cls.empty()
+        if len(parts) == 1:
+            return parts[0]
+
+        all_sources = np.concatenate([p.sources for p in parts])
+        union = np.unique(all_sources)
+        index = np.searchsorted(union, all_sources)
+
+        def _sum(arrays, dtype) -> np.ndarray:
+            out = np.zeros(union.size, dtype=dtype)
+            np.add.at(out, index, np.concatenate(arrays))
+            return out
+
+        day_sources = np.concatenate([p.day_sources for p in parts])
+        day_values = np.concatenate([p.day_values for p in parts])
+        order = np.lexsort((day_values, day_sources))
+        day_sources = day_sources[order]
+        day_values = day_values[order]
+        if day_sources.size:
+            keep = np.empty(day_sources.size, dtype=bool)
+            keep[0] = True
+            keep[1:] = (day_sources[1:] != day_sources[:-1]) | (
+                day_values[1:] != day_values[:-1]
+            )
+            day_sources = day_sources[keep]
+            day_values = day_values[keep]
+
+        return cls(
+            sources=union,
+            messages=_sum([p.messages for p in parts], np.int64),
+            size_sums=_sum([p.size_sums for p in parts], np.float64),
+            size_sq_sums=_sum([p.size_sq_sums for p in parts], np.float64),
+            day_sources=day_sources,
+            day_values=day_values,
+        )
+
+    def finalize(self) -> SpamAggregates:
+        """Collapse the day table into per-source active-day counts.
+
+        Every ``(source, day)`` pair's source has at least one message,
+        so ``day_sources`` is always a subset of ``sources`` and the
+        searchsorted indices are exact.  The per-source sums are the
+        same exact integers the whole-window ``bincount`` produces, so
+        the finalized aggregates — and hence the flags — are
+        bit-identical to :meth:`SpamAggregates.from_flows` on the
+        concatenated log.
+        """
+        active = np.bincount(
+            np.searchsorted(self.sources, self.day_sources),
+            minlength=self.sources.size,
+        ).astype(np.int64)
+        return SpamAggregates(
+            sources=self.sources,
+            messages=self.messages,
+            active_days=active,
+            size_sums=self.size_sums,
+            size_sq_sums=self.size_sq_sums,
+        )
+
+
 class SpamDetector:
     """Flags bulk SMTP senders from flow behaviour."""
 
@@ -181,3 +320,26 @@ class SpamDetector:
 
     def _detect(self, flows: FlowLog) -> np.ndarray:
         return SpamAggregates.from_flows(flows).flagged(self.config)
+
+    def detect_chunked(
+        self, chunks: Union["ChunkedFlowLog", Iterable[FlowLog]]
+    ) -> np.ndarray:
+        """:meth:`detect` as a fold over flow-log chunks.
+
+        Accepts a :class:`~repro.flows.chunked.ChunkedFlowLog` or any
+        iterable of :class:`FlowLog` spans; one chunk plus the running
+        :class:`SpamPartial` is resident at a time, and the flagged set
+        is bit-identical to :meth:`detect` on the concatenated log for
+        any chunking (day-straddling boundaries included).
+        """
+        from repro.flows.chunked import ChunkedFlowLog, fold_partials
+
+        if isinstance(chunks, ChunkedFlowLog):
+            chunks = chunks.iter_chunks()
+        with obs.instrument("detect.spam_chunked"):
+            partial = fold_partials(
+                (SpamPartial.from_flows(chunk) for chunk in chunks),
+                rows=lambda p: p.sources.size + p.day_sources.size,
+                merge_all=SpamPartial.merge_all,
+            )
+            return partial.finalize().flagged(self.config)

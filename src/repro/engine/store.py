@@ -45,8 +45,6 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.core.blocking import CandidatePartition
-from repro.core.report import Report
 from repro.engine import faults
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -252,6 +250,10 @@ def _report_meta(report: Report) -> dict:
 
 
 def _report_from(addresses: np.ndarray, meta: dict) -> Report:
+    # Lazy: repro.core imports repro.flows, whose chunked layer needs
+    # this module — a cycle if the Report types were bound at import.
+    from repro.core.report import Report
+
     period = None
     if meta["period"] is not None:
         period = (
@@ -294,6 +296,8 @@ class PartitionCodec(Codec):
         return arrays, meta
 
     def from_payload(self, arrays, meta) -> CandidatePartition:
+        from repro.core.blocking import CandidatePartition
+
         return CandidatePartition(
             **{name: _report_from(arrays[name], meta[name]) for name in self._FIELDS}
         )
@@ -508,15 +512,23 @@ class ArtifactStore:
 
     # -- access -----------------------------------------------------------
 
-    def get(self, key: str, codec: Optional[Codec] = None) -> Any:
-        """The cached value for ``key``, or :data:`MISS`."""
+    def get(self, key: str, codec: Optional[Codec] = None, cache: bool = True) -> Any:
+        """The cached value for ``key``, or :data:`MISS`.
+
+        ``cache=False`` streams the value past the in-memory LRU: a disk
+        hit is decoded and returned without being remembered.  The
+        out-of-core flow-log layer uses this so iterating a hundred
+        chunks leaves the LRU — and peak RSS — untouched.
+        """
         with obs_trace.span("store.get", key=key) as sp:
-            value, outcome = self._lookup(key, codec)
+            value, outcome = self._lookup(key, codec, cache)
             sp.set(outcome=outcome)
         obs_metrics.inc(f"store.get.{outcome}")
         return value
 
-    def _lookup(self, key: str, codec: Optional[Codec]) -> Tuple[Any, str]:
+    def _lookup(
+        self, key: str, codec: Optional[Codec], cache: bool = True
+    ) -> Tuple[Any, str]:
         if key in self._memory:
             self._memory.move_to_end(key)
             self.memory_hits += 1
@@ -526,7 +538,8 @@ class ArtifactStore:
             value = self._disk_read(key, base, codec)
             if value is not MISS:
                 self.disk_hits += 1
-                self._remember(key, value)
+                if cache:
+                    self._remember(key, value)
                 return value, "disk-hit"
         self.misses += 1
         return MISS, "miss"
@@ -550,11 +563,22 @@ class ArtifactStore:
             )
             return MISS
 
-    def put(self, key: str, value: Any, codec: Optional[Codec] = None) -> None:
-        """Cache ``value``; persist to disk when a codec is given."""
+    def put(
+        self,
+        key: str,
+        value: Any,
+        codec: Optional[Codec] = None,
+        cache: bool = True,
+    ) -> None:
+        """Cache ``value``; persist to disk when a codec is given.
+
+        ``cache=False`` writes through to disk without pinning the value
+        in the in-memory LRU (the spill path of the out-of-core flow-log
+        layer — chunks are written once and re-read streamingly).
+        """
         self.puts += 1
         with obs_trace.span("store.put", key=key) as sp:
-            outcome, nbytes = self._store(key, value, codec)
+            outcome, nbytes = self._store(key, value, codec, cache)
             sp.set(outcome=outcome)
         obs_metrics.inc(f"store.put.{outcome}")
         if nbytes:
@@ -562,9 +586,10 @@ class ArtifactStore:
             obs_metrics.inc(f"store.bytes.{stage}", nbytes)
 
     def _store(
-        self, key: str, value: Any, codec: Optional[Codec]
+        self, key: str, value: Any, codec: Optional[Codec], cache: bool = True
     ) -> Tuple[str, int]:
-        self._remember(key, value)
+        if cache:
+            self._remember(key, value)
         base = self._disk_base(key)
         if codec is None or base is None:
             return "memory", 0
@@ -585,6 +610,32 @@ class ArtifactStore:
     def _dump(self, base: Path, codec: Codec, value: Any) -> int:
         base.parent.mkdir(parents=True, exist_ok=True)
         return codec.dump(value, base)
+
+    def has_disk(self, key: str) -> bool:
+        """Whether ``key`` has a complete entry on disk right now.
+
+        The out-of-core flow-log spiller uses this to confirm a
+        ``cache=False`` write actually landed; when it did not (no disk
+        layer, or the store degraded mid-write) the chunk must stay
+        resident with the caller.
+        """
+        base = self._disk_base(key)
+        if base is None or self.degraded:
+            return False
+        return _sidecar(base).exists() and _payload(base).exists()
+
+    def disk_entry_bytes(self, key: str) -> int:
+        """Payload + sidecar bytes of ``key`` on disk (0 when absent)."""
+        base = self._disk_base(key)
+        if base is None:
+            return 0
+        total = 0
+        for path in (_payload(base), _sidecar(base)):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
 
     def drop(self, key: str) -> None:
         """Forget ``key`` everywhere (memory and disk, best effort)."""
@@ -694,6 +745,21 @@ class ArtifactStore:
                 if path.name.endswith(".json") and ".stream.day-" in path.name
             ),
         }
+        # Out-of-core flow-log chunks (repro.flows.chunked keys look like
+        # <prefix>/flowchunk-<NNNNN>; count entries and payload bytes).
+        chunk_files = 0
+        chunk_bytes = 0
+        for path in files:
+            if ".flowchunk-" not in path.name:
+                continue
+            if path.name.endswith(".json"):
+                chunk_files += 1
+            try:
+                chunk_bytes += path.stat().st_size
+            except OSError:
+                pass
+        snapshot["flow_chunks"] = chunk_files
+        snapshot["flow_chunk_bytes"] = chunk_bytes
         snapshot.update(self.health())
         return snapshot
 

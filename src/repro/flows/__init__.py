@@ -1,5 +1,6 @@
 """NetFlow substrate: records, columnar logs, and border traffic generation."""
 
+from repro.flows.chunked import ChunkedFlowLog, FlowChunkCodec
 from repro.flows.generator import BorderTraffic, TrafficConfig, TrafficGenerator
 from repro.flows.log import FlowBatch, FlowLog
 from repro.flows.stats import (
@@ -21,6 +22,8 @@ __all__ = [
     "FlowRecord",
     "FlowLog",
     "FlowBatch",
+    "ChunkedFlowLog",
+    "FlowChunkCodec",
     "Protocol",
     "TCPFlags",
     "HEADER_BYTES_PER_PACKET",

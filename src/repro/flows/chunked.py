@@ -1,0 +1,458 @@
+"""Out-of-core columnar flow logs: day/size-bounded chunks on disk.
+
+A :class:`ChunkedFlowLog` holds a window of flows as an ordered sequence
+of positional chunk slices, each persisted outside process memory, so
+detectors can fold over windows far larger than RAM without ever
+materialising the whole :class:`~repro.flows.log.FlowLog`.  Two backends
+share one reader interface:
+
+**Artifact store (npz)** — :meth:`ChunkedFlowLog.spill` writes each
+chunk through the :class:`~repro.engine.store.ArtifactStore` as a
+checksummed ``.npz`` entry (``<prefix>/flowchunk-<n>`` keys, the
+``COLUMN_DTYPES`` schema), inheriting the store's quarantine, retry and
+degradation behaviour.  Reads stream past the store's in-memory LRU
+(``cache=False``) so a hundred-chunk scan keeps exactly one chunk
+resident.  When the store has no usable disk layer the chunk is kept
+resident in the log itself — correct, just not out-of-core.
+
+**Memory-mapped directory (npy)** — :meth:`ChunkedFlowLog.spill_to_dir`
+writes one raw ``.npy`` per column per chunk plus a JSON manifest;
+:meth:`ChunkedFlowLog.open_dir` reopens them with
+``np.load(mmap_mode="r")``, so chunk columns are lazily paged and a
+chunk "load" allocates no array memory at all.
+
+Chunks are **positional** slices of the source log: concatenating them
+in order reproduces the original log exactly, which is what lets the
+streaming detector folds (:meth:`~repro.detect.scan.ScanDetector.detect_chunked`,
+:meth:`~repro.detect.trw.TRWDetector.detect_chunked`,
+:meth:`~repro.detect.spam.SpamDetector.detect_chunked`) stay
+bit-identical to the in-memory paths for any chunking.  ``day_bounded``
+splitting additionally cuts wherever the day of ``start_time`` changes
+between consecutive flows, keeping chunks aligned with the stream
+layer's day batches on time-ordered logs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.engine.store import (
+    MISS,
+    ArtifactMissing,
+    ArtifactStore,
+    Codec,
+    default_store,
+)
+from repro.flows.log import COLUMN_DTYPES, FlowLog
+
+__all__ = [
+    "ChunkedFlowLog",
+    "ChunkMeta",
+    "FlowChunkCodec",
+    "DEFAULT_CHUNK_FLOWS",
+    "fold_partials",
+]
+
+#: Default per-chunk flow bound (~9 MB of columns at 34 bytes/flow).
+DEFAULT_CHUNK_FLOWS = 262_144
+
+_DAY_SECONDS = 86_400.0
+
+#: Key component marking flow chunks in the artifact store (``cache
+#: info`` counts entries whose base name contains ``.flowchunk-``).
+CHUNK_KEY_STEM = "flowchunk"
+
+_DIR_MANIFEST = "chunked.json"
+
+
+class FlowChunkCodec(Codec):
+    """One flow-log chunk as an ``.npz`` artifact (``COLUMN_DTYPES``)."""
+
+    name = "flow-chunk"
+
+    def to_payload(self, value: FlowLog):
+        arrays = {name: value.column(name) for name in COLUMN_DTYPES}
+        return arrays, {"rows": len(value)}
+
+    def from_payload(self, arrays, meta) -> FlowLog:
+        return FlowLog(**{name: arrays[name] for name in COLUMN_DTYPES})
+
+
+@dataclass(frozen=True)
+class ChunkMeta:
+    """Shape and time coverage of one chunk (loaded lazily)."""
+
+    index: int
+    rows: int
+    t_min: float  # min start_time in the chunk (inf when empty)
+    t_max: float  # max start_time in the chunk (-inf when empty)
+    nbytes: int  # payload bytes on disk (0 when resident/unknown)
+
+    def overlaps(self, start: Optional[float], end: Optional[float]) -> bool:
+        """Whether any flow of this chunk can start within ``[start, end)``."""
+        if self.rows == 0:
+            return False
+        if start is not None and self.t_max < start:
+            return False
+        if end is not None and self.t_min >= end:
+            return False
+        return True
+
+
+def _split_points(
+    start_time: np.ndarray, max_flows: int, day_bounded: bool
+) -> List[int]:
+    """Positional cut points (exclusive ends) for chunking a log."""
+    total = int(start_time.size)
+    if total == 0:
+        return []
+    cuts: np.ndarray
+    if day_bounded and np.all(start_time[1:] >= start_time[:-1]):
+        # Day cuts only make sense on a time-ordered log; on an
+        # unsorted one every adjacent day flip would become a chunk
+        # boundary, shattering the log into thousands of tiny pieces.
+        days = (start_time // _DAY_SECONDS).astype(np.int64)
+        cuts = np.flatnonzero(days[1:] != days[:-1]) + 1
+    else:
+        if day_bounded:
+            obs.metrics.warn_event(
+                "flows.chunked.unsorted",
+                "day_bounded spill of a non-time-sorted log; "
+                "falling back to size-bounded chunks",
+            )
+        cuts = np.asarray([], dtype=np.int64)
+    points: List[int] = []
+    previous = 0
+    for cut in [*cuts.tolist(), total]:
+        while cut - previous > max_flows:
+            previous += max_flows
+            points.append(previous)
+        if cut > previous:
+            points.append(cut)
+            previous = cut
+    return points
+
+
+class ChunkedFlowLog:
+    """An ordered sequence of on-disk flow-log chunks."""
+
+    def __init__(
+        self,
+        metas: List[ChunkMeta],
+        key_prefix: str = "",
+        store: Optional[ArtifactStore] = None,
+        resident: Optional[Dict[int, FlowLog]] = None,
+        mmap_dir: Optional[Path] = None,
+    ) -> None:
+        self._metas = list(metas)
+        self.key_prefix = key_prefix
+        self._store = store
+        self._resident = dict(resident or {})
+        self._mmap_dir = Path(mmap_dir) if mmap_dir is not None else None
+        self._codec = FlowChunkCodec()
+
+    # -- writers -----------------------------------------------------------
+
+    @classmethod
+    def spill(
+        cls,
+        flows: FlowLog,
+        key_prefix: str,
+        store: Optional[ArtifactStore] = None,
+        max_flows: int = DEFAULT_CHUNK_FLOWS,
+        day_bounded: bool = True,
+    ) -> "ChunkedFlowLog":
+        """Split ``flows`` into chunks persisted through the store.
+
+        Chunks are written with ``cache=False`` so spilling a large
+        window does not pin it in the store's LRU.  A chunk whose disk
+        write cannot be confirmed (memory-only or degraded store) stays
+        resident in the returned log instead of silently vanishing.
+        """
+        return cls._spill_logs(
+            cls._slices(flows, max_flows, day_bounded), key_prefix, store
+        )
+
+    @classmethod
+    def spill_chunks(
+        cls,
+        logs: Iterable[FlowLog],
+        key_prefix: str,
+        store: Optional[ArtifactStore] = None,
+    ) -> "ChunkedFlowLog":
+        """Streaming writer: each incoming log becomes one chunk.
+
+        This is the producer-side path — a generator can emit day spans
+        one at a time and never hold more than one in memory.
+        """
+        return cls._spill_logs(logs, key_prefix, store)
+
+    @classmethod
+    def _spill_logs(
+        cls,
+        logs: Iterable[FlowLog],
+        key_prefix: str,
+        store: Optional[ArtifactStore],
+    ) -> "ChunkedFlowLog":
+        store = store if store is not None else default_store()
+        codec = FlowChunkCodec()
+        metas: List[ChunkMeta] = []
+        resident: Dict[int, FlowLog] = {}
+        with obs.instrument("flows.chunked.spill"):
+            for index, chunk in enumerate(logs):
+                key = cls._chunk_key(key_prefix, index)
+                store.put(key, chunk, codec, cache=False)
+                nbytes = 0
+                if store.has_disk(key):
+                    nbytes = store.disk_entry_bytes(key)
+                else:
+                    resident[index] = chunk
+                metas.append(cls._meta_for(index, chunk, nbytes))
+        obs.metrics.inc("flows.chunked.spilled_chunks", len(metas))
+        return cls(metas, key_prefix=key_prefix, store=store, resident=resident)
+
+    @classmethod
+    def spill_to_dir(
+        cls,
+        flows: FlowLog,
+        directory: Path,
+        max_flows: int = DEFAULT_CHUNK_FLOWS,
+        day_bounded: bool = True,
+    ) -> "ChunkedFlowLog":
+        """Split ``flows`` into a directory of raw ``.npy`` columns.
+
+        The resulting log (and any later :meth:`open_dir`) reads columns
+        as read-only memory maps — lazily paged, zero allocation.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        metas: List[ChunkMeta] = []
+        for index, chunk in enumerate(cls._slices(flows, max_flows, day_bounded)):
+            nbytes = 0
+            for name in COLUMN_DTYPES:
+                path = directory / cls._column_file(index, name)
+                np.save(path, chunk.column(name))
+                nbytes += path.stat().st_size
+            metas.append(cls._meta_for(index, chunk, nbytes))
+        manifest = {
+            "format": 1,
+            "chunks": [
+                {
+                    "index": m.index,
+                    "rows": m.rows,
+                    "t_min": m.t_min,
+                    "t_max": m.t_max,
+                    "nbytes": m.nbytes,
+                }
+                for m in metas
+            ],
+        }
+        (directory / _DIR_MANIFEST).write_text(json.dumps(manifest, indent=2))
+        return cls(metas, mmap_dir=directory)
+
+    @classmethod
+    def open_dir(cls, directory: Path) -> "ChunkedFlowLog":
+        """Reopen a directory written by :meth:`spill_to_dir`."""
+        directory = Path(directory)
+        manifest = json.loads((directory / _DIR_MANIFEST).read_text())
+        metas = [
+            ChunkMeta(
+                index=entry["index"],
+                rows=entry["rows"],
+                t_min=entry["t_min"],
+                t_max=entry["t_max"],
+                nbytes=entry["nbytes"],
+            )
+            for entry in manifest["chunks"]
+        ]
+        return cls(metas, mmap_dir=directory)
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _chunk_key(prefix: str, index: int) -> str:
+        return f"{prefix}/{CHUNK_KEY_STEM}-{index:05d}"
+
+    @staticmethod
+    def _column_file(index: int, column: str) -> str:
+        return f"chunk-{index:05d}-{column}.npy"
+
+    @staticmethod
+    def _meta_for(index: int, chunk: FlowLog, nbytes: int) -> ChunkMeta:
+        times = chunk.start_time
+        return ChunkMeta(
+            index=index,
+            rows=len(chunk),
+            t_min=float(times.min()) if times.size else float("inf"),
+            t_max=float(times.max()) if times.size else float("-inf"),
+            nbytes=nbytes,
+        )
+
+    @classmethod
+    def _slices(
+        cls, flows: FlowLog, max_flows: int, day_bounded: bool
+    ) -> Iterator[FlowLog]:
+        if max_flows < 1:
+            raise ValueError("max_flows must be >= 1")
+        previous = 0
+        for cut in _split_points(flows.start_time, max_flows, day_bounded):
+            yield cls._slice(flows, previous, cut)
+            previous = cut
+
+    @staticmethod
+    def _slice(flows: FlowLog, start: int, stop: int) -> FlowLog:
+        return FlowLog(
+            **{
+                name: flows.column(name)[start:stop]
+                for name in COLUMN_DTYPES
+            }
+        )
+
+    # -- readers -----------------------------------------------------------
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._metas)
+
+    @property
+    def metas(self) -> Tuple[ChunkMeta, ...]:
+        return tuple(self._metas)
+
+    @property
+    def nbytes(self) -> int:
+        """Total persisted payload bytes across chunks."""
+        return sum(m.nbytes for m in self._metas)
+
+    def __len__(self) -> int:
+        return sum(m.rows for m in self._metas)
+
+    def chunk(self, index: int) -> FlowLog:
+        """Load chunk ``index`` (one chunk resident at a time)."""
+        meta = self._metas[index]
+        if index in self._resident:
+            return self._resident[index]
+        if self._mmap_dir is not None:
+            columns = {
+                name: np.load(
+                    self._mmap_dir / self._column_file(meta.index, name),
+                    mmap_mode="r",
+                )
+                for name in COLUMN_DTYPES
+            }
+            return FlowLog(**columns)
+        assert self._store is not None
+        value = self._store.get(
+            self._chunk_key(self.key_prefix, meta.index), self._codec, cache=False
+        )
+        if value is MISS:
+            raise ArtifactMissing(
+                f"flow chunk {meta.index} of {self.key_prefix!r} is gone "
+                f"(evicted, cleared or quarantined); re-spill the window"
+            )
+        return value
+
+    def iter_chunks(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> Iterator[FlowLog]:
+        """Yield chunks in order, optionally windowed to ``[start, end)``.
+
+        Chunks with no time overlap are skipped without loading;
+        overlapping chunks are filtered to the window, so folding the
+        yielded spans equals folding ``flows.in_time_range(start, end)``.
+        """
+        windowed = start is not None or end is not None
+        for meta in self._metas:
+            if windowed and not meta.overlaps(start, end):
+                continue
+            chunk = self.chunk(meta.index)
+            if windowed:
+                lo = start if start is not None else float("-inf")
+                hi = end if end is not None else float("inf")
+                chunk = chunk.in_time_range(lo, hi)
+            yield chunk
+
+    def __iter__(self) -> Iterator[FlowLog]:
+        return self.iter_chunks()
+
+    def materialize(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> FlowLog:
+        """Concatenate (a window of) the chunks back into one log.
+
+        For equivalence tests and small windows — this is exactly the
+        materialisation the chunked detector paths exist to avoid.
+        """
+        parts = list(self.iter_chunks(start, end))
+        if not parts:
+            return FlowLog.empty()
+        merged = parts[0]
+        for part in parts[1:]:
+            merged = merged.concat(part)
+        return merged
+
+    def drop(self) -> None:
+        """Delete persisted chunks (store backend only; best effort)."""
+        if self._store is None:
+            return
+        for meta in self._metas:
+            self._store.drop(self._chunk_key(self.key_prefix, meta.index))
+        self._resident.clear()
+
+    def info(self) -> dict:
+        """Chunk counts/bytes — surfaced by ``uncleanliness cache info``."""
+        return {
+            "chunks": self.chunk_count,
+            "flows": len(self),
+            "bytes": self.nbytes,
+            "resident_chunks": len(self._resident),
+            "backend": "mmap" if self._mmap_dir is not None else "store",
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ChunkedFlowLog(chunks={self.chunk_count}, flows={len(self)}, "
+            f"backend={'mmap' if self._mmap_dir is not None else 'store'})"
+        )
+
+
+def fold_partials(parts, rows, merge_all, min_batch: int = 65_536):
+    """Fold a stream of mergeable partial aggregates with bounded memory.
+
+    Buffers incoming partials and collapses the buffer into the running
+    merged state with one ``merge_all`` call whenever the buffered row
+    count reaches the running state's size (a doubling schedule): the
+    full state is re-sorted only O(log chunks) times instead of once per
+    chunk, while peak memory stays O(state + one buffer) instead of
+    accumulating every chunk's partial.  Because every detector merge is
+    associative and commutative over exact columns, the grouping this
+    schedule picks cannot change the result — it is bit-identical to any
+    other merge order.
+
+    ``rows(part)`` returns a partial's row count; ``merge_all(parts)``
+    merges a list of partials (and must return an empty aggregate for an
+    empty list).
+    """
+    merged = None
+    buffer = []
+    buffered = 0
+    for part in parts:
+        buffer.append(part)
+        buffered += rows(part)
+        threshold = max(min_batch, rows(merged) if merged is not None else 0)
+        if buffered >= threshold:
+            if merged is not None:
+                buffer.append(merged)
+            merged = merge_all(buffer)
+            buffer = []
+            buffered = 0
+    if buffer or merged is None:
+        if merged is not None:
+            buffer.append(merged)
+        merged = merge_all(buffer)
+    return merged

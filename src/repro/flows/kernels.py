@@ -16,7 +16,12 @@ loop:
   segment-sorted array (exact for integer inputs);
 * :func:`segment_first_true` — each segment's first ``True`` position,
   which is how the TRW detector finds every source's first threshold
-  crossing.
+  crossing;
+* :func:`pack64` / :func:`segment_bounds` / :func:`grouped_sum` — the
+  packed-key grouping trio behind the columnar scan detector: two
+  32-bit-ranged columns packed into one ``uint64`` sort key, run
+  boundaries of the sorted keys, and exact per-run sums via
+  ``np.add.reduceat``.
 
 All kernels are deterministic given the RNG: each draws a fixed number
 of variates that depends only on the input shapes.
@@ -35,6 +40,9 @@ __all__ = [
     "sample_day_segments",
     "grouped_cumsum",
     "segment_first_true",
+    "pack64",
+    "segment_bounds",
+    "grouped_sum",
 ]
 
 
@@ -111,6 +119,58 @@ def sample_day_segments(
     order = np.lexsort((keys, owners))
     keep = positions < np.repeat(want, lengths)
     return owners[keep], candidate_days[order][keep]
+
+
+def pack64(hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
+    """Pack two 32-bit-ranged columns into one ``uint64`` sort key.
+
+    Sorting the packed key is exactly the lexicographic sort on
+    ``(hi, lo)``, so one ``np.sort``/``np.lexsort`` pass replaces a
+    row-table ``np.unique(axis=0)``.  Both inputs must already lie in
+    ``[0, 2**32)``; values outside that range would alias other keys,
+    so they raise.
+    """
+    hi = np.asarray(hi)
+    lo = np.asarray(lo)
+    if hi.size and (hi.min() < 0 or hi.max() >> 32):
+        raise ValueError("pack64 hi column out of uint32 range")
+    if lo.size and (lo.min() < 0 or lo.max() >> 32):
+        raise ValueError("pack64 lo column out of uint32 range")
+    return (hi.astype(np.uint64) << np.uint64(32)) | lo.astype(np.uint64)
+
+
+def segment_bounds(sorted_keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Run boundaries of a key-sorted array: ``(starts, counts)``.
+
+    ``starts[i]`` is the first position of run ``i`` of equal keys and
+    ``counts[i]`` its length — the ``return_index``/``return_counts``
+    outputs of ``np.unique`` without re-sorting an already sorted array.
+    """
+    keys = np.asarray(sorted_keys)
+    if keys.size == 0:
+        empty = np.asarray([], dtype=np.int64)
+        return empty, empty
+    boundary = np.empty(keys.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    counts = np.diff(np.append(starts, keys.size))
+    return starts, counts
+
+
+def grouped_sum(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Exact per-segment sums of a segment-contiguous array.
+
+    ``starts`` are segment start positions (as from
+    :func:`segment_bounds`); integer inputs stay integer, and boolean
+    masks count as ``int64`` (``np.add.reduceat`` would OR them).
+    """
+    values = np.asarray(values)
+    if values.dtype == bool:
+        values = values.astype(np.int64)
+    if starts.size == 0:
+        return np.zeros(0, dtype=values.dtype)
+    return np.add.reduceat(values, starts)
 
 
 def grouped_cumsum(

@@ -25,6 +25,18 @@ it without cycles.
 import time as _time
 from contextlib import contextmanager
 
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX
+    _resource = None
+
+
+def _peak_rss_kb() -> int:
+    """Process-lifetime peak resident set in KB (0 when unknown)."""
+    if _resource is None:  # pragma: no cover - non-POSIX
+        return 0
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+
 from repro.obs import manifest, metrics, render, trace
 from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
@@ -88,6 +100,11 @@ def instrument(name: str, events=None, **attrs):
         yield
     elapsed = _time.perf_counter() - started
     metrics.observe(f"{name}.seconds", elapsed)
+    rss_kb = _peak_rss_kb()
+    if rss_kb:
+        # The process-lifetime high-water mark as of this stage's end —
+        # a cheap per-stage memory trace (strictly non-decreasing).
+        metrics.set_gauge(f"{name}.peak_rss_kb", rss_kb)
     if events is not None:
         events = int(events)
         metrics.inc(f"{name}.events", events)
