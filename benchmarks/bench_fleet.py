@@ -1,0 +1,274 @@
+#!/usr/bin/env python
+"""Fleet supervisor throughput / degraded-overhead / resume guard.
+
+Three promises of the fleet layer are enforced here (all sized for the
+single-core CI runner — ratios against a sequential baseline, never
+parallel-speedup floors):
+
+* **Supervision is cheap.**  Running ``N`` member networks through the
+  :class:`~repro.fleet.supervisor.FleetSupervisor` (checksums, retry
+  machinery, clearinghouse pooling) must cost close to the ``N``
+  sequential ``scenario_reports`` builds it wraps — the floor is the
+  sequential/fleet time ratio.
+* **Degradation is not amplification.**  A fleet with one permanently
+  failing member must finish *no slower* than about the fault-free
+  run: the failing shard's retries are bounded and the clearinghouse
+  pools whatever delivered.  Ceiling on degraded/fault-free time.
+* **Resume beats recompute.**  A second supervisor over the same
+  cache directory must resume every shard from its checkpoint far
+  faster than the cold run — the floor is the cold/resume ratio.
+
+Before any timing the script asserts the fleet's pooled scores are
+bit-identical to pooling the sequential builds directly.
+
+Results land in ``BENCH_fleet.json``; ``--guard`` exits non-zero when a
+floor/ceiling is broken.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py \
+        --scale full --output BENCH_fleet.json
+    PYTHONPATH=src python benchmarks/bench_fleet.py --scale small --guard
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+SCALES = {
+    # member count, timing repetitions (min-of-reps), retry budget
+    "full": dict(shards=4, reps=2),
+    "small": dict(shards=3, reps=1),
+}
+
+#: sequential_seconds / fleet_seconds must stay above this (the fleet
+#: machinery may only add bounded overhead on top of the real work).
+THROUGHPUT_FLOORS = {"full": 0.70, "small": 0.65}
+#: degraded_seconds / faultfree_seconds must stay below this (one dead
+#: member means bounded retries, not amplification).
+DEGRADED_CEILING = 1.15
+#: cold_seconds / resume_seconds must stay above this.
+RESUME_FLOORS = {"full": 3.0, "small": 2.0}
+
+
+def _timed(op) -> float:
+    start = time.perf_counter()
+    op()
+    return time.perf_counter() - start
+
+
+def _reset_caches() -> None:
+    from repro.core.stages import reset_scenario_engine
+    from repro.engine.store import reset_default_store
+
+    reset_default_store()
+    reset_scenario_engine()
+
+
+def _dead_member_runner(shard, feed_tags):
+    from repro.fleet import scenario_reports
+
+    if shard.name == "net-a":
+        raise RuntimeError("member network offline")
+    return scenario_reports(shard, feed_tags)
+
+
+def check_identity(config) -> int:
+    """Fleet pooling must equal pooling the sequential builds."""
+    from repro.fleet import (
+        Clearinghouse,
+        FleetSupervisor,
+        ShardFeed,
+        reports_as_of,
+        scenario_reports,
+    )
+
+    _reset_caches()
+    feeds = []
+    for shard in config.shards:
+        reports = scenario_reports(shard, config.feed_tags)
+        feeds.append(
+            ShardFeed(
+                name=shard.name, reports=reports, as_of=reports_as_of(reports)
+            )
+        )
+    direct = Clearinghouse(feeds, prefix_len=config.prefix_len).pooled_scores()
+
+    _reset_caches()
+    result = FleetSupervisor(config, checkpoint=False).run()
+    pooled = result.clearinghouse.pooled_scores()
+    if not np.array_equal(pooled.scores, direct.scores):
+        raise AssertionError("fleet pooled scores diverge from direct pooling")
+    if not np.array_equal(pooled.blocks, direct.blocks):
+        raise AssertionError("fleet pooled blocks diverge from direct pooling")
+    return len(pooled)
+
+
+def bench_throughput(config, params) -> dict:
+    from repro.fleet import FleetSupervisor, scenario_reports
+
+    def sequential():
+        _reset_caches()
+        for shard in config.shards:
+            scenario_reports(shard, config.feed_tags)
+
+    def fleet():
+        _reset_caches()
+        FleetSupervisor(config, checkpoint=False).run()
+
+    seq_s = min(_timed(sequential) for _ in range(params["reps"]))
+    fleet_s = min(_timed(fleet) for _ in range(params["reps"]))
+    return {
+        "shards": len(config.shards),
+        "sequential_seconds": round(seq_s, 4),
+        "fleet_seconds": round(fleet_s, 4),
+        "ratio": round(seq_s / fleet_s, 3),
+    }
+
+
+def bench_degraded(config, params) -> dict:
+    from dataclasses import replace
+
+    from repro.fleet import FleetSupervisor
+
+    dead_config = replace(config, backoff=0.0)
+
+    def faultfree():
+        _reset_caches()
+        FleetSupervisor(config, checkpoint=False).run()
+
+    def degraded():
+        _reset_caches()
+        FleetSupervisor(
+            dead_config, runner=_dead_member_runner, checkpoint=False
+        ).run()
+
+    # Sanity: the degraded run really quarantines exactly one member.
+    _reset_caches()
+    probe = FleetSupervisor(
+        dead_config, runner=_dead_member_runner, checkpoint=False
+    ).run()
+    if probe.quarantined != ("net-a",):
+        raise AssertionError(f"unexpected quarantine set: {probe.quarantined}")
+
+    ok_s = min(_timed(faultfree) for _ in range(params["reps"]))
+    degraded_s = min(_timed(degraded) for _ in range(params["reps"]))
+    return {
+        "quarantined": list(probe.quarantined),
+        "faultfree_seconds": round(ok_s, 4),
+        "degraded_seconds": round(degraded_s, 4),
+        "ratio": round(degraded_s / ok_s, 3),
+    }
+
+
+def bench_resume(config, params) -> dict:
+    from repro.engine.store import ArtifactStore
+    from repro.fleet import FleetSupervisor
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        store = ArtifactStore(disk_dir=Path(cache_dir))
+
+        _reset_caches()
+        cold_s = _timed(lambda: FleetSupervisor(config, store=store).run())
+
+        def resume():
+            _reset_caches()
+            result = FleetSupervisor(config, store=store).run()
+            if not all(o.from_checkpoint for o in result.outcomes):
+                raise AssertionError("resume missed a shard checkpoint")
+
+        resume_s = min(_timed(resume) for _ in range(max(2, params["reps"])))
+    return {
+        "cold_seconds": round(cold_s, 4),
+        "resume_seconds": round(resume_s, 4),
+        "speedup": round(cold_s / resume_s, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=tuple(SCALES), default="full")
+    parser.add_argument("--output", default="BENCH_fleet.json")
+    parser.add_argument("--guard", action="store_true",
+                        help="exit non-zero when a floor is broken")
+    args = parser.parse_args(argv)
+
+    # Hermetic cold timings: no disk cache behind the default store.
+    os.environ["REPRO_CACHE_DIR"] = ""
+
+    from repro.fleet import heterogeneous_fleet
+
+    params = SCALES[args.scale]
+    config = heterogeneous_fleet(params["shards"], seed=7, small=True)
+
+    pooled_blocks = check_identity(config)
+    sections = {
+        "throughput": bench_throughput(config, params),
+        "degraded": bench_degraded(config, params),
+        "resume": bench_resume(config, params),
+    }
+
+    snapshot = {
+        "suite": "fleet",
+        "scale": args.scale,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "pooled_blocks": pooled_blocks,
+        "throughput_floor": THROUGHPUT_FLOORS[args.scale],
+        "degraded_ceiling": DEGRADED_CEILING,
+        "resume_floor": RESUME_FLOORS[args.scale],
+        "sections": sections,
+    }
+    Path(args.output).write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    throughput = sections["throughput"]
+    degraded = sections["degraded"]
+    resume = sections["resume"]
+    print(
+        f"  throughput  {throughput['shards']} shards: sequential "
+        f"{throughput['sequential_seconds']:.2f}s vs fleet "
+        f"{throughput['fleet_seconds']:.2f}s (ratio {throughput['ratio']})"
+    )
+    print(
+        f"  degraded    {degraded['degraded_seconds']:.2f}s vs fault-free "
+        f"{degraded['faultfree_seconds']:.2f}s (ratio {degraded['ratio']})"
+    )
+    print(
+        f"  resume      cold {resume['cold_seconds']:.2f}s vs resume "
+        f"{resume['resume_seconds']:.4f}s ({resume['speedup']}x)"
+    )
+
+    if not args.guard:
+        return 0
+    failed = []
+    if throughput["ratio"] < THROUGHPUT_FLOORS[args.scale]:
+        failed.append(
+            f"throughput: sequential/fleet {throughput['ratio']} < "
+            f"floor {THROUGHPUT_FLOORS[args.scale]}"
+        )
+    if degraded["ratio"] > DEGRADED_CEILING:
+        failed.append(
+            f"degraded: degraded/faultfree {degraded['ratio']} > "
+            f"ceiling {DEGRADED_CEILING}"
+        )
+    if resume["speedup"] < RESUME_FLOORS[args.scale]:
+        failed.append(
+            f"resume: cold/resume {resume['speedup']}x < "
+            f"floor {RESUME_FLOORS[args.scale]}x"
+        )
+    for message in failed:
+        print(f"GUARD FAIL: {message}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,12 +47,14 @@ import warnings as _warnings
 from repro.api import (
     BlockingResult,
     DensityResult,
+    FleetResult,
     PredictionResult,
     ScenarioConfig,
     ScenarioRun,
     density_test,
     evaluate_blocking,
     prediction_test,
+    run_fleet,
     run_scenario,
 )
 from repro.core.report import Report
@@ -65,6 +67,8 @@ __all__ = [
     "density_test",
     "prediction_test",
     "evaluate_blocking",
+    "run_fleet",
+    "FleetResult",
     "ScenarioRun",
     "ScenarioConfig",
     "Report",

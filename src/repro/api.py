@@ -48,6 +48,13 @@ from repro.core.prediction import PredictionResult
 from repro.core.prediction import prediction_test as _prediction_test
 from repro.core.report import Report
 from repro.core.scenario import PaperScenario, ScenarioConfig
+from repro.fleet import (
+    FleetConfig,
+    FleetResult,
+    FleetSupervisor,
+    NetworkShard,
+    heterogeneous_fleet,
+)
 from repro.ipspace.addr import AddressLike
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -61,6 +68,9 @@ __all__ = [
     "density_test",
     "prediction_test",
     "evaluate_blocking",
+    "run_fleet",
+    "fleet_density_test",
+    "fleet_prediction_test",
     "stream_service",
     "score",
     "is_blocked",
@@ -72,6 +82,9 @@ __all__ = [
     "ScenarioConfig",
     "StreamConfig",
     "UncleanlinessService",
+    "FleetConfig",
+    "FleetResult",
+    "NetworkShard",
 ]
 
 _V = TypeVar("_V")
@@ -348,6 +361,168 @@ def evaluate_blocking(
     report = _as_report(sc, bot_test)
     with obs_trace.span("api.evaluate_blocking", bot_test=report.tag):
         return _blocking_test(sc.partition, report, prefixes)
+
+
+# -- fleet / clearinghouse ---------------------------------------------------
+
+FleetLike = Union[FleetResult, FleetConfig, Sequence[NetworkShard], None]
+
+#: Policy keywords ``run_fleet`` forwards into :class:`FleetConfig`.
+_FLEET_POLICY_KEYS = (
+    "feed_tags",
+    "deadline",
+    "max_retries",
+    "backoff",
+    "quorum",
+    "max_staleness_days",
+    "workers",
+    "prefix_len",
+)
+
+
+def _resolve_fleet(fleet: FleetLike, count: int, seed: Optional[int],
+                   small: bool, policy: dict) -> FleetConfig:
+    if fleet is None:
+        base_seed = seed if seed is not None else ScenarioConfig().seed
+        return heterogeneous_fleet(count, seed=base_seed, small=small, **policy)
+    if isinstance(fleet, FleetConfig):
+        return replace(fleet, **policy) if policy else fleet
+    if isinstance(fleet, FleetResult):
+        return replace(fleet.config, **policy) if policy else fleet.config
+    return FleetConfig(shards=tuple(fleet), **policy)
+
+
+def run_fleet(
+    fleet: FleetLike = None,
+    *,
+    count: int = 3,
+    seed: Optional[int] = None,
+    small: bool = False,
+    runner=None,
+    checkpoint: bool = True,
+    **policy,
+) -> FleetResult:
+    """Run a multi-network fleet and pool it through the clearinghouse.
+
+    ``fleet`` may be a :class:`FleetConfig`, a sequence of
+    :class:`NetworkShard`, a previous :class:`FleetResult` (re-run the
+    same membership), or ``None`` — the default
+    :func:`~repro.fleet.heterogeneous_fleet` of ``count`` dissimilar
+    networks.  Policy keywords (``deadline``, ``max_retries``,
+    ``backoff``, ``quorum``, ``max_staleness_days``, ``workers``, ...)
+    pass through to :class:`FleetConfig`.
+
+    Completed shards checkpoint through the artifact store, so a re-run
+    after a crash resumes instantly; shards that exhaust their retries
+    are quarantined and the result's clearinghouse degrades gracefully
+    (see :meth:`FleetResult.manifest`).
+    """
+    unknown = set(policy) - set(_FLEET_POLICY_KEYS)
+    if unknown:
+        raise TypeError(f"unknown fleet policy keywords: {sorted(unknown)}")
+    config = _resolve_fleet(fleet, count, seed, small, policy)
+    with obs_trace.span("api.run_fleet", shards=len(config.shards)):
+        supervisor = FleetSupervisor(
+            config, runner=runner, checkpoint=checkpoint
+        )
+        return supervisor.run()
+
+
+def _resolve_fleet_result(fleet: FleetLike, **kwargs) -> FleetResult:
+    if isinstance(fleet, FleetResult):
+        return fleet
+    return run_fleet(fleet, **kwargs)
+
+
+def _fleet_rng(
+    result: FleetResult,
+    rng: Optional[np.random.Generator],
+    seed: Optional[int],
+) -> np.random.Generator:
+    if rng is not None:
+        if seed is not None:
+            raise ValueError("pass either rng or seed, not both")
+        return rng
+    if seed is not None:
+        return np.random.default_rng(seed)
+    # Same convention as the single-network verbs: derived from the
+    # (first shard's) data seed, so fleet results reproduce from config.
+    return np.random.default_rng(result.config.shards[0].config.seed ^ 0xC1D)
+
+
+def fleet_density_test(
+    fleet: FleetLike = None,
+    report: str = "bot",
+    *,
+    control: str = "control",
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    prefixes: Sequence[int] = tuple(PREFIX_RANGE),
+    subsets: int = 1000,
+    workers: Optional[int] = None,
+) -> DensityResult:
+    """The §4.2 spatial test on the *pooled* clearinghouse view.
+
+    Pools ``report`` and ``control`` across every available feed and
+    runs the density test on the union — the clearinghouse's answer to
+    "is pooled unclean space denser than pooled address space?".
+    """
+    result = _resolve_fleet_result(fleet)
+    ch = result.clearinghouse
+    pooled = ch.pooled_report(report)
+    with obs_trace.span("api.fleet_density_test", report=pooled.tag):
+        return _density_test(
+            pooled,
+            ch.pooled_report(control),
+            _fleet_rng(result, rng, seed),
+            prefixes=prefixes,
+            subsets=subsets,
+            workers=workers,
+        )
+
+
+def fleet_prediction_test(
+    fleet: FleetLike,
+    target: str,
+    past: str = "bot-test",
+    present: str = "bot",
+    *,
+    control: str = "control",
+    cross: bool = True,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    prefixes: Sequence[int] = tuple(PREFIX_RANGE),
+    subsets: int = 1000,
+    workers: Optional[int] = None,
+) -> PredictionResult:
+    """The §5.2 temporal test *across* networks.
+
+    With ``cross=True`` (the paper's multi-vantage-point claim) the
+    past report is pooled from every available feed **except**
+    ``target``, and tested against ``target``'s own present report and
+    control population: other networks' old uncleanliness predicting
+    this network's current botnet space.  ``cross=False`` uses the
+    target's local past report (the single-network baseline).
+    """
+    result = _resolve_fleet_result(fleet)
+    ch = result.clearinghouse
+    feed = ch.feed(target)
+    past_report = (
+        ch.pooled_report(past, exclude=(target,)) if cross
+        else feed.reports[past]
+    )
+    with obs_trace.span(
+        "api.fleet_prediction_test", target=target, cross=cross
+    ):
+        return _prediction_test(
+            past_report,
+            feed.reports[present],
+            feed.reports[control],
+            _fleet_rng(result, rng, seed),
+            prefixes=prefixes,
+            subsets=subsets,
+            workers=workers,
+        )
 
 
 # -- streaming service -------------------------------------------------------

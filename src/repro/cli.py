@@ -12,6 +12,7 @@ Usage::
     uncleanliness profile --reports feed.txt
     uncleanliness cache [info|clear|doctor] [--purge-quarantine]
     uncleanliness trace [latest|<run-dir>|<fingerprint-prefix>]
+    uncleanliness fleet [--shards N] [--small] [--workers W]
 
 The ``--small`` flag runs the ~100x reduced scenario (seconds instead of
 a minute); shapes are preserved but the counts are proportionally lower.
@@ -81,7 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=sorted(_SCENARIO_EXPERIMENTS)
         + ["figure1", "ablation", "all", "score", "validate", "profile",
-           "cache", "trace", "ingest", "serve"],
+           "cache", "trace", "ingest", "serve", "fleet"],
         help="which experiment to regenerate; 'score' scores user-provided "
         "report files into a /24 blocklist, 'validate' runs the statistical "
         "generator checks, 'profile' prints the address-structure profile "
@@ -89,7 +90,9 @@ def build_parser() -> argparse.ArgumentParser:
         "'trace' pretty-prints the span tree of a recorded run, 'ingest' "
         "folds scenario day-batches into the streaming uncleanliness "
         "service (checkpointed, resumable), 'serve' answers score/blocked "
-        "queries from the streaming index over stdin",
+        "queries from the streaming index over stdin, 'fleet' runs the "
+        "sharded multi-network fleet and prints the clearinghouse view "
+        "next to each member network's local view",
     )
     parser.add_argument(
         "action",
@@ -158,6 +161,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="(score) write the blocklist here instead of stdout",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        help="(fleet) number of heterogeneous member networks",
+    )
+    parser.add_argument(
         "--days",
         type=int,
         default=None,
@@ -184,9 +193,16 @@ def _run_cache(args: argparse.Namespace) -> int:
         print(f"  hits:           {info['memory_hits']} memory, "
               f"{info['disk_hits']} disk; misses: {info['misses']}")
         print(f"  stream ckpts:   {info['stream_checkpoints']} "
-              f"day checkpoint(s)")
+              f"day checkpoint(s) ({info['stream_checkpoint_bytes']} bytes)")
         print(f"  flow chunks:    {info['flow_chunks']} chunk(s) "
               f"({info['flow_chunk_bytes']} bytes)")
+        namespaces = info["fleet_namespaces"]
+        print(f"  fleet ckpts:    {info['fleet_checkpoints']} shard "
+              f"deliver(ies) in {len(namespaces)} namespace(s)")
+        for name in sorted(namespaces):
+            entry = namespaces[name]
+            print(f"    {name}: {entry['entries']} entr(ies), "
+                  f"{entry['bytes']} bytes")
         print(f"  quarantine:     {info['quarantine_files']} file(s)")
         return 0
     if action == "clear":
@@ -204,6 +220,12 @@ def _run_cache(args: argparse.Namespace) -> int:
               f"{report['entries_corrupt']} corrupt (quarantined), "
               f"{report['entries_version_skew']} version-skewed, "
               f"{report['entries_unreadable']} unreadable")
+        print(f"  stream ckpts:   {report['stream_checkpoints_verified']} "
+              f"verified, {report['stream_checkpoints_quarantined']} "
+              f"quarantined")
+        print(f"  fleet entries:  {report['fleet_entries_verified']} "
+              f"verified, {report['fleet_entries_quarantined']} "
+              f"quarantined")
         print(f"  orphans:        {report['orphans_swept']} swept, "
               f"{report['tmp_removed']} temp file(s) removed")
         if args.purge_quarantine:
@@ -422,6 +444,111 @@ def _run_serve(args: argparse.Namespace) -> int:
     return status
 
 
+def _fleet_config(args: argparse.Namespace):
+    from repro.fleet import heterogeneous_fleet
+
+    seed = args.seed if args.seed is not None else ScenarioConfig().seed
+    return heterogeneous_fleet(
+        args.shards, seed=seed, small=args.small, workers=args.workers
+    )
+
+
+def _run_fleet(args: argparse.Namespace, extra: dict) -> int:
+    """Run the sharded fleet; print availability plus the cross-network
+    Table 2/Table 3 comparison (clearinghouse view vs local views)."""
+    from repro import api
+    from repro.core.blocking import blocking_test
+    from repro.experiments.common import render_table
+    from repro.fleet import FleetFailure, QuorumError
+
+    config = _fleet_config(args)
+    try:
+        result = api.run_fleet(config)
+    except FleetFailure as err:
+        print(f"fleet failed: {err}", file=sys.stderr)
+        return 1
+    extra["fleet"] = result.manifest()
+    ch = result.clearinghouse
+
+    print(
+        f"Fleet of {len(config.shards)} network(s) "
+        f"[{result.fingerprint[:12]}...]: {len(ch.available)} available, "
+        f"{len(ch.stale)} stale, {len(result.quarantined)} quarantined"
+        + ("  ** DEGRADED **" if ch.degraded else "")
+    )
+    print()
+    print("Shard availability:")
+    outcomes = {outcome.name: outcome for outcome in result.outcomes}
+    rows = ch.availability()
+    for row in rows:
+        outcome = outcomes.get(row["network"])
+        row["attempts"] = outcome.attempts if outcome else "-"
+        row["resumed"] = (
+            "yes" if outcome and outcome.from_checkpoint else "no"
+        )
+    print(render_table(rows))
+
+    pooled = ch.pooled_scores(allow_partial=True)
+    pooled_list = len(pooled.blocklist(args.threshold))
+    print()
+    print(
+        f"Table 2 view — /{args.prefix} unclean blocks, local vs "
+        f"clearinghouse (threshold {args.threshold}):"
+    )
+    table2_rows = []
+    for feed in ch.available:
+        local = ch.local_scores(feed.name)
+        gained = int(np.setdiff1d(pooled.blocks, local.blocks).size)
+        table2_rows.append(
+            {
+                "network": feed.name,
+                "local_blocks": len(local.scores),
+                "local_blocklist": len(local.blocklist(args.threshold)),
+                "pooled_blocks": len(pooled.scores),
+                "pooled_blocklist": pooled_list,
+                "gained_blocks": gained,
+            }
+        )
+    print(render_table(table2_rows))
+
+    print()
+    print(
+        "Table 3 view — §6 blocking at /24, local bot-test vs the other "
+        "networks' pooled bot-test:"
+    )
+    table3_rows = []
+    for feed in ch.available:
+        shard = config.shard(feed.name)
+        partition = api.run_scenario(shard.config).partition
+        local_row = blocking_test(
+            partition, feed.reports["bot-test"], prefixes=(24,)
+        ).row(24)
+        entry = {
+            "network": feed.name,
+            "local_tp": local_row.true_positives,
+            "local_fp": local_row.false_positives,
+        }
+        try:
+            cross = ch.pooled_report("bot-test", exclude=(feed.name,))
+        except QuorumError:
+            entry["cross_tp"] = entry["cross_fp"] = "-"
+        else:
+            cross_row = blocking_test(partition, cross, prefixes=(24,)).row(24)
+            entry["cross_tp"] = cross_row.true_positives
+            entry["cross_fp"] = cross_row.false_positives
+        table3_rows.append(entry)
+    print(render_table(table3_rows))
+    if ch.degraded:
+        print()
+        print(
+            "degraded clearinghouse: "
+            f"stale={list(ch.stale)} quarantined={list(result.quarantined)}; "
+            "re-run to retry quarantined shards (completed shards resume "
+            "from checkpoints)"
+        )
+    return 0
+
+
 def _scenario_config(args: argparse.Namespace) -> ScenarioConfig:
     if args.small:
         config = ScenarioConfig.small()
@@ -478,13 +605,19 @@ def _manifest_identity(args: argparse.Namespace):
         return fingerprint(identity), None
     if args.experiment == "ablation":
         return fingerprint({"experiment": "ablation", "seed": args.seed}), args.seed
+    if args.experiment == "fleet":
+        config = _fleet_config(args)
+        return config.fingerprint(), config.shards[0].config.seed
     config = _scenario_config(args)
     return config.fingerprint(), config.seed
 
 
-def _dispatch(args: argparse.Namespace) -> int:
+def _dispatch(args: argparse.Namespace, extra: dict) -> int:
     if args.experiment == "score":
         return _run_score(args)
+
+    if args.experiment == "fleet":
+        return _run_fleet(args, extra)
 
     if args.experiment == "validate":
         return _run_validate(args)
@@ -556,9 +689,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     was_enabled = tracer.enabled
     tracer.enabled = True
     root = None
+    extra: dict = {}
     try:
         with tracer.span(f"cli.{args.experiment}") as root:
-            code = _dispatch(args)
+            code = _dispatch(args, extra)
     finally:
         tracer.enabled = was_enabled
         if root is not None and root in tracer.roots:
@@ -573,6 +707,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv=list(argv) if argv is not None else sys.argv[1:],
         span=span_dict,
         exit_code=code,
+        extra=extra or None,
     )
     if manifest_path is not None:
         print(f"[manifest: {manifest_path}]", file=sys.stderr)

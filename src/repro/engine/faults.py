@@ -74,6 +74,10 @@ SITES = (
     "worker.fail",    # raise InjectedFault inside a trial chunk
     "worker.slow",    # sleep inside a trial chunk
     "stage.slow",     # sleep inside a stage build
+    "shard.crash",    # hard-exit a fleet shard's worker process
+    "shard.fail",     # raise InjectedFault inside a shard job
+    "shard.slow",     # sleep inside a shard job (deadline pressure)
+    "shard.corrupt",  # tamper with a shard's delivered report set
 )
 
 #: Kind assumed when a rule omits it.
@@ -86,6 +90,10 @@ _DEFAULT_KIND = {
     "worker.fail": "fail",
     "worker.slow": "slow",
     "stage.slow": "slow",
+    "shard.crash": "crash",
+    "shard.fail": "fail",
+    "shard.slow": "slow",
+    "shard.corrupt": "corrupt",
 }
 
 _KINDS = ("oserror", "enospc", "fail", "crash", "slow", "corrupt")
@@ -101,6 +109,12 @@ PROFILES = {
     "worker-crash": "worker.crash:every=3",
     "corrupt": "store.corrupt:every=3",
     "slow-stage": "stage.slow:every=2,delay=0.01",
+    # Shard-boundary profiles for the fleet supervisor: every=3 keeps
+    # the default retry budget (max_retries=2, three rounds) ahead of
+    # the schedule, so a faulted shard always recovers on a later round.
+    "shard-crash": "shard.crash:every=3",
+    "shard-slow": "shard.slow:every=2,delay=0.01",
+    "shard-corrupt": "shard.corrupt:every=3",
 }
 
 

@@ -760,6 +760,36 @@ class ArtifactStore:
                 pass
         snapshot["flow_chunks"] = chunk_files
         snapshot["flow_chunk_bytes"] = chunk_bytes
+        # Streaming checkpoint bytes plus fleet shard-delivery
+        # checkpoints (repro.fleet keys look like
+        # fleet-<fp>/shard-<name>.reports), grouped into per-namespace
+        # entry/byte counts so `cache info` can show each fleet's
+        # footprint separately.
+        stream_bytes = 0
+        fleet_entries = 0
+        namespaces: Dict[str, Dict[str, int]] = {}
+        for path in files:
+            name = path.name
+            if ".stream." in name:
+                try:
+                    stream_bytes += path.stat().st_size
+                except OSError:
+                    pass
+            if ".shard-" not in name:
+                continue
+            entry = namespaces.setdefault(
+                name.split(".shard-", 1)[0], {"entries": 0, "bytes": 0}
+            )
+            if name.endswith(".json"):
+                entry["entries"] += 1
+                fleet_entries += 1
+            try:
+                entry["bytes"] += path.stat().st_size
+            except OSError:
+                pass
+        snapshot["stream_checkpoint_bytes"] = stream_bytes
+        snapshot["fleet_checkpoints"] = fleet_entries
+        snapshot["fleet_namespaces"] = namespaces
         snapshot.update(self.health())
         return snapshot
 
@@ -771,6 +801,8 @@ class ArtifactStore:
         optionally purges the quarantine.  Safe to run on a live cache.
         """
         verified = corrupt = skewed = unreadable = 0
+        stream_verified = stream_quarantined = 0
+        fleet_verified = fleet_quarantined = 0
         if self.disk_dir is not None and self.disk_dir.is_dir():
             try:
                 self._sweep_orphans()
@@ -778,11 +810,15 @@ class ArtifactStore:
                 log.warning("doctor sweep failed err=%s", err)
             for sidecar in sorted(self.disk_dir.glob("*.json")):
                 base = self.disk_dir / sidecar.name[: -len(".json")]
+                is_stream = ".stream." in sidecar.name
+                is_fleet = ".shard-" in sidecar.name
                 try:
                     self._with_retries(lambda b=base: verify_entry(b))
                 except (ArtifactMissing, CorruptArtifact) as err:
                     self._quarantine(base, reason=str(err))
                     corrupt += 1
+                    stream_quarantined += is_stream
+                    fleet_quarantined += is_fleet
                 except VersionSkew:
                     self.version_skew += 1
                     skewed += 1
@@ -792,6 +828,8 @@ class ArtifactStore:
                     unreadable += 1
                 else:
                     verified += 1
+                    stream_verified += is_stream
+                    fleet_verified += is_fleet
         quarantine = self._quarantine_files()
         quarantine_bytes = 0
         for path in quarantine:
@@ -809,6 +847,13 @@ class ArtifactStore:
             "quarantine_files": 0 if purge_quarantine else len(quarantine),
             "quarantine_bytes": 0 if purge_quarantine else quarantine_bytes,
             "quarantine_purged": purged,
+            # Stream day checkpoints and fleet shard deliveries are part
+            # of the sweep above; break them out so resumability damage
+            # is visible at a glance.
+            "stream_checkpoints_verified": stream_verified,
+            "stream_checkpoints_quarantined": stream_quarantined,
+            "fleet_entries_verified": fleet_verified,
+            "fleet_entries_quarantined": fleet_quarantined,
         }
         report.update(self.health())
         return report

@@ -1,0 +1,171 @@
+"""Chaos tests: ``UncleanlinessService.resume`` under storage faults.
+
+The durability contract: whatever storage faults fire while a service
+ingests and checkpoints — flaky reads/writes, commit-window delays,
+corrupted payloads — restarting over the same cache directory and
+replaying the remaining days yields scores **bit-identical** to a
+fault-free straight-through fold, or the failure surfaces as a typed
+:class:`StoreError` / ``OSError``.  Silent divergence is the one
+forbidden outcome.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import faults
+from repro.engine.store import ArtifactStore, StoreError
+from repro.sim.timeline import PAPER_WINDOWS
+from repro.stream import StreamConfig, UncleanlinessService, day_batches
+
+#: Errors a faulted fold is allowed to surface.  ``OSError`` covers the
+#: store's transient-retry path exhausting its budget; everything else
+#: must arrive as a typed ``StoreError``.
+TYPED = (StoreError, OSError)
+
+WINDOW = PAPER_WINDOWS.OCTOBER
+
+
+@pytest.fixture(autouse=True)
+def quiet_faults():
+    faults.reset()
+    with faults.injected(faults.FaultPlan([])):
+        yield
+    faults.reset()
+
+
+@pytest.fixture(scope="module")
+def baseline_scores(tiny_traffic):
+    """Fault-free straight-through fold of the whole window."""
+    faults.reset()
+    with faults.injected(faults.FaultPlan([])):
+        service = UncleanlinessService(
+            StreamConfig(window=WINDOW), source="baseline", store=ArtifactStore()
+        )
+        for batch in day_batches(tiny_traffic, from_day=service.cursor + 1):
+            service.ingest(batch)
+    return service.scores().scores.copy()
+
+
+def _fold(service, traffic, stop_day=None):
+    """Ingest days ``cursor+1 ..`` (exclusive of ``stop_day``)."""
+    for batch in day_batches(traffic, from_day=service.cursor + 1):
+        if stop_day is not None and batch.day >= stop_day:
+            break
+        service.ingest(batch)
+
+
+def _chaos_round(traffic, plan, split_day, cache_dir):
+    """Phase 1: fold under ``plan`` up to ``split_day`` (faults allowed
+    to abort the fold).  Phase 2: fault-free restart over the same
+    directory, resume, replay the rest.  Returns final scores."""
+    config = StreamConfig(window=WINDOW)
+    store = ArtifactStore(max_memory_items=4, disk_dir=Path(cache_dir))
+    service = UncleanlinessService(config, source="chaos", store=store)
+    try:
+        with faults.injected(plan):
+            _fold(service, traffic, stop_day=split_day)
+    except TYPED:
+        pass  # a typed mid-fold failure is fine; resume must recover
+
+    fresh = ArtifactStore(max_memory_items=4, disk_dir=Path(cache_dir))
+    resumed = UncleanlinessService.resume(config, source="chaos", store=fresh)
+    _fold(resumed, traffic)
+    return resumed.scores().scores
+
+
+class TestDeterministicProfiles:
+    def test_io_flaky_profile_recovers_bit_identical(
+        self, tiny_traffic, baseline_scores
+    ):
+        plan = faults.FaultPlan.from_spec("io-flaky")
+        with tempfile.TemporaryDirectory() as cache_dir:
+            scores = _chaos_round(
+                tiny_traffic, plan, WINDOW.start_day + 4, cache_dir
+            )
+        np.testing.assert_array_equal(scores, baseline_scores)
+
+    def test_corrupt_profile_recovers_bit_identical(
+        self, tiny_traffic, baseline_scores
+    ):
+        # Payload corruption lands *after* the dump: the bad checkpoint
+        # is only discovered at resume time, which must fall back to an
+        # earlier good day (or cold start) and replay forward.
+        plan = faults.FaultPlan.from_spec("corrupt")
+        with tempfile.TemporaryDirectory() as cache_dir:
+            scores = _chaos_round(
+                tiny_traffic, plan, WINDOW.start_day + 6, cache_dir
+            )
+        np.testing.assert_array_equal(scores, baseline_scores)
+
+    def test_resume_under_flaky_reads_is_identical_or_typed(
+        self, tiny_traffic, baseline_scores
+    ):
+        # Faults active during the *resume* as well: the walk-back over
+        # checkpoints may hit injected read errors.  Either it still
+        # reconstructs the exact scores or it raises typed.
+        config = StreamConfig(window=WINDOW)
+        with tempfile.TemporaryDirectory() as cache_dir:
+            store = ArtifactStore(max_memory_items=4, disk_dir=Path(cache_dir))
+            service = UncleanlinessService(config, source="chaos", store=store)
+            _fold(service, tiny_traffic, stop_day=WINDOW.start_day + 5)
+
+            fresh = ArtifactStore(max_memory_items=4, disk_dir=Path(cache_dir))
+            plan = faults.FaultPlan.from_spec("store.read:oserror:every=2")
+            try:
+                with faults.injected(plan):
+                    resumed = UncleanlinessService.resume(
+                        config, source="chaos", store=fresh
+                    )
+                    _fold(resumed, tiny_traffic)
+            except TYPED:
+                return
+            np.testing.assert_array_equal(
+                resumed.scores().scores, baseline_scores
+            )
+
+
+STORE_RULE = st.builds(
+    lambda site, every, times, after: faults.FaultRule(
+        site=site,
+        kind=faults._DEFAULT_KIND[site],
+        every=every,
+        times=times,
+        after=after,
+        delay=0.001,
+    ),
+    site=st.sampled_from(
+        ["store.read", "store.write", "store.commit", "store.corrupt"]
+    ),
+    every=st.integers(min_value=1, max_value=5),
+    times=st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
+    after=st.integers(min_value=0, max_value=5),
+)
+
+
+class TestFaultScheduleProperty:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        rules=st.lists(STORE_RULE, min_size=1, max_size=3),
+        split=st.integers(min_value=1, max_value=WINDOW.num_days - 1),
+    )
+    def test_any_schedule_resumes_bit_identical_or_typed(
+        self, rules, split, tiny_traffic, baseline_scores
+    ):
+        plan = faults.FaultPlan(rules)
+        with tempfile.TemporaryDirectory() as cache_dir:
+            try:
+                scores = _chaos_round(
+                    tiny_traffic, plan, WINDOW.start_day + split, cache_dir
+                )
+            except TYPED:
+                return  # typed, never silent
+        np.testing.assert_array_equal(scores, baseline_scores)
