@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Predictor fit+score throughput snapshot / adapter-overhead guard.
+
+Two promises of the ``repro.predict`` layer are enforced here:
+
+* **The protocol costs nothing.**  The ``uncleanliness`` predictor is a
+  thin adapter over :class:`~repro.core.uncleanliness.UncleanlinessScorer`;
+  a full fit + multi-prefix scoring pass through the protocol must stay
+  within 5% of calling the scorer directly.  Before timing, the script
+  asserts the two paths produce bit-identical rankings.
+* **Every registered rival is benchmarked.**  Each predictor in the
+  registry gets a fit + /24 scoring timing so a regression in any
+  model's hot path shows up in the committed snapshot.
+
+Results land in ``BENCH_predictors.json`` at the repo root; ``--guard``
+exits non-zero when the adapter overhead reaches the 5% ceiling.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_predictors.py \
+        --scale full --output BENCH_predictors.json
+    PYTHONPATH=src python benchmarks/bench_predictors.py --scale small --guard
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.report import DataClass, Report, ReportType
+from repro.core.uncleanliness import UncleanlinessScorer
+from repro.predict import UncleanlinessPredictor, list_predictors, make_predictor
+
+SCALES = {
+    # feed sizes (addresses per feed), timing repetitions
+    "full": dict(feed_size=400_000, reps=7),
+    "small": dict(feed_size=50_000, reps=5),
+}
+
+PREFIXES = (16, 24, 32)
+OVERHEAD_CEILING_PCT = 5.0
+
+
+def build_feeds(params) -> dict:
+    """Three class-tagged feeds with CIDR structure.
+
+    Addresses cluster into /16s (as real feeds do) so block counts at
+    every prefix are non-trivial rather than one-address-per-block.
+    """
+    rng = np.random.default_rng(0xFEED)
+    feeds = {}
+    for tag, data_class in (
+        ("bot", DataClass.BOTS),
+        ("scan", DataClass.SCANNING),
+        ("spam", DataClass.SPAM),
+    ):
+        nets = rng.integers(0, 2**16, size=256, dtype=np.uint32) << 16
+        hosts = rng.integers(0, 2**16, size=params["feed_size"], dtype=np.uint32)
+        addresses = nets[rng.integers(0, nets.size, size=hosts.size)] | hosts
+        feeds[tag] = Report(
+            tag=tag,
+            addresses=np.unique(addresses),
+            report_type=ReportType.PROVIDED,
+            data_class=data_class,
+        )
+    return feeds
+
+
+def _timed(op) -> float:
+    start = time.perf_counter()
+    op()
+    return time.perf_counter() - start
+
+
+def _direct_pass(feeds) -> dict:
+    """The pre-protocol path: scorer called directly, class-keyed."""
+    grouped = {report.data_class: report for report in feeds.values()}
+    out = {}
+    for prefix_len in PREFIXES:
+        out[prefix_len] = UncleanlinessScorer(prefix_len=prefix_len).score(
+            grouped
+        )
+    return out
+
+
+def _adapter_pass(feeds) -> dict:
+    """The same work through the Predictor protocol."""
+    model = UncleanlinessPredictor().fit(feeds)
+    return {prefix_len: model.score_blocks(prefix_len)
+            for prefix_len in PREFIXES}
+
+
+def bench_adapter_overhead(feeds, params) -> dict:
+    """Protocol adapter vs direct scorer over the full prefix sweep."""
+    # Bit-identity first: the adapter must change nothing but the API.
+    direct = _direct_pass(feeds)
+    adapted = _adapter_pass(feeds)
+    for prefix_len in PREFIXES:
+        if not np.array_equal(direct[prefix_len].blocks,
+                              adapted[prefix_len].blocks):
+            raise AssertionError(f"adapter blocks diverge at /{prefix_len}")
+        if not np.array_equal(direct[prefix_len].scores,
+                              adapted[prefix_len].scores):
+            raise AssertionError(f"adapter scores diverge at /{prefix_len}")
+
+    direct_s = min(_timed(lambda: _direct_pass(feeds))
+                   for _ in range(params["reps"]))
+    adapter_s = min(_timed(lambda: _adapter_pass(feeds))
+                    for _ in range(params["reps"]))
+    overhead_pct = (adapter_s - direct_s) / direct_s * 100.0
+    return {
+        "prefixes": list(PREFIXES),
+        "training_addresses": int(sum(len(r) for r in feeds.values())),
+        "direct_seconds": round(direct_s, 5),
+        "adapter_seconds": round(adapter_s, 5),
+        "overhead_pct": round(overhead_pct, 2),
+    }
+
+
+def bench_models(feeds, params) -> dict:
+    """Fit + /24 scoring cost for every registered predictor."""
+    total_addresses = sum(len(r) for r in feeds.values())
+    out = {}
+    for name in list_predictors():
+        fit_s = min(
+            _timed(lambda: make_predictor(name).fit(feeds))
+            for _ in range(params["reps"])
+        )
+        score_s = min(
+            _timed(
+                lambda: make_predictor(name).fit(feeds).score_blocks(24)
+            ) - fit_s
+            for _ in range(params["reps"])
+        )
+        score_s = max(score_s, 1e-9)
+        ranking = make_predictor(name).fit(feeds).score_blocks(24)
+        out[name] = {
+            "fit_seconds": round(fit_s, 5),
+            "score24_seconds": round(score_s, 5),
+            "blocks_at_24": len(ranking),
+            "addresses_per_sec": round(total_addresses / (fit_s + score_s), 1),
+        }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=tuple(SCALES), default="full")
+    parser.add_argument("--output", default="BENCH_predictors.json")
+    parser.add_argument("--guard", action="store_true",
+                        help="exit non-zero when the overhead ceiling breaks")
+    args = parser.parse_args(argv)
+
+    params = SCALES[args.scale]
+    feeds = build_feeds(params)
+
+    sections = {
+        "adapter_overhead": bench_adapter_overhead(feeds, params),
+        "models": bench_models(feeds, params),
+    }
+
+    snapshot = {
+        "suite": "predictors",
+        "scale": args.scale,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "overhead_ceiling_pct": OVERHEAD_CEILING_PCT,
+        "sections": sections,
+    }
+    Path(args.output).write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    overhead = sections["adapter_overhead"]
+    print(
+        f"  adapter_overhead  direct {overhead['direct_seconds']:.4f}s, "
+        f"adapter {overhead['adapter_seconds']:.4f}s "
+        f"({overhead['overhead_pct']:+.2f}%)"
+    )
+    for name, row in sections["models"].items():
+        print(
+            f"  {name:<16}  fit {row['fit_seconds']:.4f}s, "
+            f"score/24 {row['score24_seconds']:.4f}s "
+            f"({row['blocks_at_24']} blocks, "
+            f"{row['addresses_per_sec']:.0f} addr/s)"
+        )
+
+    if not args.guard:
+        return 0
+    failed = []
+    if overhead["overhead_pct"] >= OVERHEAD_CEILING_PCT:
+        failed.append(
+            f"adapter_overhead: {overhead['overhead_pct']}% >= "
+            f"{OVERHEAD_CEILING_PCT}% ceiling"
+        )
+    for message in failed:
+        print(f"GUARD FAIL: {message}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,20 +3,28 @@ botnet addresses" (IMC 2007).
 
 Quick start — the :mod:`repro.api` facade is the public surface::
 
-    from repro.api import run_scenario, density_test, prediction_test
+    from repro.api import run_scenario, evaluate, compare
 
     run = run_scenario(small=True)
-    spatial = density_test(run, "bot", subsets=100)   # §4 spatial test
-    print(spatial.hypothesis_holds())
-    temporal = prediction_test(run, "bot-test", "bot", subsets=100)
+    spatial = evaluate(run, metric="density", train="bot", subsets=100)
+    print(spatial.hypothesis_holds())                 # §4 spatial test
+    temporal = evaluate(run, metric="prediction", subsets=100)
     print(temporal.predictive_range())                # §5 temporal test
+    duel = compare(run, subsets=100)                  # rival predictors
+    print(duel.auc_ranking())
 
 Subpackages
 -----------
 ``repro.api``
-    The supported entry point: ``run_scenario``, ``density_test``,
-    ``prediction_test``, ``evaluate_blocking``, returning frozen typed
-    result dataclasses.
+    The supported entry point: ``run_scenario``, ``evaluate``,
+    ``compare``, ``list_predictors``/``make_predictor``, returning
+    frozen typed result dataclasses.  The pre-1.2 verbs
+    (``density_test``, ``prediction_test``, ``evaluate_blocking``)
+    remain as deprecated bit-identical shims.
+``repro.predict``
+    The ``Predictor`` protocol and the rival models it hosts: the §7
+    uncleanliness adapter, an implicit-recommendation time-series
+    model, and a greedy spatial graph-clustering model.
 ``repro.core``
     The paper's contribution: reports, CIDR analysis, the spatial and
     temporal uncleanliness tests, the §6 blocking experiment, the §7
@@ -46,24 +54,34 @@ import warnings as _warnings
 
 from repro.api import (
     BlockingResult,
+    ComparisonResult,
     DensityResult,
     FleetResult,
+    ModelEvaluation,
     PredictionResult,
     ScenarioConfig,
     ScenarioRun,
+    compare,
     density_test,
+    evaluate,
     evaluate_blocking,
+    list_predictors,
+    make_predictor,
     prediction_test,
     run_fleet,
     run_scenario,
 )
 from repro.core.report import Report
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
     "run_scenario",
+    "evaluate",
+    "compare",
+    "list_predictors",
+    "make_predictor",
     "density_test",
     "prediction_test",
     "evaluate_blocking",
@@ -75,6 +93,8 @@ __all__ = [
     "DensityResult",
     "PredictionResult",
     "BlockingResult",
+    "ModelEvaluation",
+    "ComparisonResult",
 ]
 
 #: Names that used to live in the eager top-level namespace; now served

@@ -1,23 +1,31 @@
-"""The public facade: four verbs covering the paper's experiments.
+"""The public facade, redesigned around the ``Predictor`` protocol.
 
 Everything a library user needs is here::
 
-    from repro.api import run_scenario, density_test, prediction_test, \
-        evaluate_blocking
+    from repro.api import run_scenario, evaluate, compare
 
     run = run_scenario(small=True)
-    spatial = density_test(run, "bot", subsets=200)    # §4: Figs. 2-3
-    temporal = prediction_test(run, "bot-test", "bot") # §5: Figs. 4-5
-    blocking = evaluate_blocking(run)                  # §6: Table 3
+    spatial = evaluate(run, metric="density", train="bot")   # §4: Figs. 2-3
+    temporal = evaluate(run, metric="prediction")            # §5: Figs. 4-5
+    table3 = evaluate(run, metric="blocking")                # §6: Table 3
+    duel = compare(run, ["uncleanliness", "recommender"])    # head-to-head
 
 :func:`run_scenario` returns a :class:`ScenarioRun` — a frozen handle
 pairing a :class:`~repro.core.scenario.ScenarioConfig` with its
-fingerprint and the (shared, lazily built) scenario behind it.  The
-three test verbs accept a run, a config, a raw scenario, or ``None``
-(the paper's default configuration) plus report *tags* instead of report
-objects, and return the frozen typed result dataclasses from
-:mod:`repro.core` (:class:`DensityResult`, :class:`PredictionResult`,
-:class:`BlockingResult`).
+fingerprint and the (shared, lazily built) scenario behind it.
+
+:func:`evaluate` is the single evaluation entry: pick a model from the
+registry (:func:`list_predictors` / :func:`make_predictor`, or any
+object satisfying :class:`repro.predict.Predictor`), a training feed
+(``train``) and a ``metric`` — ``"density"``, ``"prediction"``,
+``"blocking"`` or ``"all"`` — and get back the frozen typed result
+(:class:`DensityResult`, :class:`PredictionResult`,
+:class:`BlockingResult` or :class:`repro.predict.ModelEvaluation`).
+:func:`compare` runs rival predictors head-to-head over one shared
+Monte-Carlo null.  The pre-1.2 verbs — :func:`density_test`,
+:func:`prediction_test`, :func:`evaluate_blocking` — remain as thin
+delegating shims (one ``DeprecationWarning`` per name per process)
+producing bit-identical numbers.
 
 Determinism: when no ``rng``/``seed`` is given, each test seeds its
 generator from ``config.seed ^ 0xC1D`` — the same convention the CLI
@@ -27,20 +35,26 @@ and identical to an `uncleanliness` run with the same flags.
 Scenarios are cached per config fingerprint (two configs sharing a seed
 but differing in any field get independent entries), so repeated facade
 calls never rebuild artifacts; the heavy stage values additionally live
-in the engine's content-addressed store.
+in the engine's content-addressed store.  Evaluations are cached the
+same way, with the **predictor fingerprint a mandatory part of every
+cache key** — two models over one scenario can never collide.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Generic, List, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 
-from repro.core.blocking import BLOCKING_PREFIXES, BlockingResult
-from repro.core.blocking import blocking_test as _blocking_test
+from repro.core.blocking import (
+    BLOCKING_PREFIXES,
+    BlockingResult,
+    blocking_test_blocks as _blocking_test_blocks,
+)
 from repro.core.cidr import PREFIX_RANGE
 from repro.core.density import DensityResult
 from repro.core.density import density_test as _density_test
@@ -48,6 +62,8 @@ from repro.core.prediction import PredictionResult
 from repro.core.prediction import prediction_test as _prediction_test
 from repro.core.report import Report
 from repro.core.scenario import PaperScenario, ScenarioConfig
+from repro.engine.fingerprint import fingerprint as _fingerprint
+from repro.engine.store import MISS, default_store
 from repro.fleet import (
     FleetConfig,
     FleetResult,
@@ -58,6 +74,18 @@ from repro.fleet import (
 from repro.ipspace.addr import AddressLike
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.predict import (
+    ComparisonResult,
+    ModelEvaluation,
+    Predictor,
+    compare_predictors,
+    evaluate_predictor,
+)
+from repro.predict import list_predictors as _registry_list
+from repro.predict import make_predictor as _registry_make
+from repro.predict.evaluate import EvaluationCodec
+from repro.predict.protocol import BasePredictor, _report_digest
+from repro.predict.registry import DEFAULT_PREDICTORS
 from repro.sim.timeline import PAPER_WINDOWS
 from repro.stream import StreamConfig, UncleanlinessService, day_batches
 from repro.stream.checkpoint import stream_fingerprint
@@ -65,6 +93,10 @@ from repro.stream.checkpoint import stream_fingerprint
 __all__ = [
     "ScenarioRun",
     "run_scenario",
+    "evaluate",
+    "compare",
+    "list_predictors",
+    "make_predictor",
     "density_test",
     "prediction_test",
     "evaluate_blocking",
@@ -79,6 +111,8 @@ __all__ = [
     "DensityResult",
     "PredictionResult",
     "BlockingResult",
+    "ModelEvaluation",
+    "ComparisonResult",
     "ScenarioConfig",
     "StreamConfig",
     "UncleanlinessService",
@@ -176,6 +210,7 @@ def clear_scenario_cache() -> None:
     """
     _SCENARIOS.clear()
     _SERVICES.clear()
+    _EVALUATIONS.clear()
 
 
 @dataclass(frozen=True)
@@ -276,6 +311,329 @@ def _default_rng(
     return np.random.default_rng(scenario.config.seed ^ 0xC1D)
 
 
+# -- the predictor-generic evaluation entry ---------------------------------
+
+#: Cached evaluation results per evaluation fingerprint
+#: (``$REPRO_EVAL_CACHE_SIZE``, default 32).  The key always embeds the
+#: predictor fingerprint, so rival models over one scenario occupy
+#: distinct entries by construction.
+_EVALUATIONS: _LRUCache[object] = _LRUCache(
+    _cache_capacity("REPRO_EVAL_CACHE_SIZE", 32),
+    "api.evaluation_cache.evictions",
+)
+
+#: The metric vocabulary of :func:`evaluate`.
+_METRICS = ("density", "prediction", "blocking", "all")
+
+TrainLike = Union[str, Report, Sequence[Union[str, Report]]]
+
+
+def list_predictors() -> List[str]:
+    """Registered predictor names (see :mod:`repro.predict.registry`)."""
+    return _registry_list()
+
+
+def make_predictor(name: str, **params) -> BasePredictor:
+    """Construct a registered predictor by name with hyperparameters."""
+    return _registry_make(name, **params)
+
+
+def _training_reports(sc: PaperScenario, train: TrainLike) -> dict:
+    """Resolve ``train`` (tag, report, or a sequence of either) to the
+    tag-keyed mapping predictors fit on."""
+    if isinstance(train, (str, Report)):
+        train = (train,)
+    reports = {}
+    for item in train:
+        report = _as_report(sc, item)
+        if report.tag in reports:
+            raise ValueError(f"duplicate training tag {report.tag!r}")
+        reports[report.tag] = report
+    if not reports:
+        raise ValueError("at least one training report is required")
+    return reports
+
+
+def _resolve_predictor(
+    predictor: Union[str, Predictor], params: Optional[dict]
+) -> BasePredictor:
+    if isinstance(predictor, str):
+        return _registry_make(predictor, **(params or {}))
+    if params:
+        raise ValueError(
+            "params only apply when the predictor is given by name"
+        )
+    return predictor
+
+
+def _evaluation_key(
+    sc: PaperScenario,
+    predictor: BasePredictor,
+    metric: str,
+    training: dict,
+    present: Optional[Report],
+    control: Optional[Report],
+    knobs: dict,
+) -> str:
+    """Fingerprint of one evaluation — scenario and **predictor**
+    fingerprints plus every result-shaping knob.
+
+    Threading the predictor fingerprint through the key is what keeps
+    two models over the same scenario from ever colliding in the
+    fingerprint-keyed caches (in-memory LRU and artifact store alike).
+    Report identities hash by content digest, not tag alone, so a
+    caller-supplied custom report never aliases a scenario tag.
+    """
+    identity = {
+        "kind": "api.evaluate",
+        "scenario": sc.config.fingerprint(),
+        "predictor": predictor.fingerprint(),
+        "metric": metric,
+        "train": sorted(
+            [tag, _report_digest(report)] for tag, report in training.items()
+        ),
+        "present": None if present is None else [
+            present.tag, _report_digest(present)
+        ],
+        "control": None if control is None else [
+            control.tag, _report_digest(control)
+        ],
+        "knobs": knobs,
+    }
+    return _fingerprint(identity)
+
+
+def evaluate(
+    scenario: ScenarioLike = None,
+    predictor: Union[str, Predictor] = "uncleanliness",
+    *,
+    metric: str = "prediction",
+    train: TrainLike = "bot-test",
+    present: Union[str, Report] = "bot",
+    control: Union[str, Report] = "control",
+    params: Optional[dict] = None,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    prefixes: Optional[Sequence[int]] = None,
+    subsets: int = 1000,
+    include_naive: bool = False,
+    naive_subsets: int = 20,
+    workers: Optional[int] = None,
+):
+    """The single evaluation entry: any predictor, any paper metric.
+
+    ``predictor`` is a registry name (with optional constructor
+    ``params``) or any fitted-or-not :class:`repro.predict.Predictor`;
+    it is (re)fitted on the ``train`` reports.  ``metric`` selects the
+    result:
+
+    ``"density"``
+        §4 spatial test of the training report(s) —
+        :class:`DensityResult` (predictor-independent; the model's
+        training feed is what is tested).
+    ``"prediction"``
+        §5 temporal test of the model's predicted blocks against
+        ``present`` — :class:`PredictionResult`.
+    ``"blocking"``
+        §6 Table-3 virtual block of the model's predicted blocks over
+        the scenario partition — :class:`BlockingResult`.
+    ``"all"``
+        Prediction + blocking + hostile-vs-innocent ROC in one
+        :class:`repro.predict.ModelEvaluation`.
+
+    Results are cached (in-memory, and in the artifact store for
+    ``metric="all"``) under a key embedding the scenario *and
+    predictor* fingerprints whenever no live ``rng`` is passed — with
+    an explicit generator the caller controls the stream and the result
+    is not a pure function of the key.
+    """
+    if metric not in _METRICS:
+        raise ValueError(
+            f"unknown metric {metric!r}; expected one of {_METRICS}"
+        )
+    sc = _resolve_scenario(scenario)
+    training = _training_reports(sc, train)
+    model = _resolve_predictor(predictor, params)
+    model.fit(training, window=PAPER_WINDOWS.OCTOBER)
+
+    if metric == "density":
+        reports = list(training.values())
+        unclean = reports[0]
+        for extra in reports[1:]:
+            unclean = unclean.union(
+                extra, tag="+".join(sorted(training))
+            )
+        with obs_trace.span("api.evaluate", metric=metric,
+                            predictor=model.name):
+            return _density_test(
+                unclean,
+                _as_report(sc, control),
+                _default_rng(sc, rng, seed),
+                prefixes=tuple(prefixes or PREFIX_RANGE),
+                subsets=subsets,
+                include_naive=include_naive,
+                naive_subsets=naive_subsets,
+                workers=workers,
+            )
+
+    present_report = _as_report(sc, present) if metric != "blocking" else None
+    control_report = _as_report(sc, control) if metric != "blocking" else None
+    knobs = {
+        "prefixes": None if prefixes is None else tuple(prefixes),
+        "subsets": subsets,
+        "seed": seed,
+    }
+    cacheable = rng is None
+    key = None
+    if cacheable:
+        key = _evaluation_key(
+            sc, model, metric, training, present_report, control_report, knobs
+        )
+        cached = _EVALUATIONS.get(key)
+        if cached is not None:
+            obs_metrics.inc("api.evaluation_cache.hits")
+            return cached
+        if metric == "all":
+            stored = default_store().get(f"eval-{key}", EvaluationCodec())
+            if stored is not MISS:
+                _EVALUATIONS.put(key, stored)
+                obs_metrics.inc("api.evaluation_cache.disk_hits")
+                return stored
+
+    with obs_trace.span("api.evaluate", metric=metric, predictor=model.name):
+        if metric == "blocking":
+            blocking_prefixes = tuple(
+                prefixes if prefixes is not None else BLOCKING_PREFIXES
+            )
+            result = _blocking_test_blocks(
+                sc.partition,
+                [model.score_blocks(n).blocks for n in blocking_prefixes],
+                blocking_prefixes,
+            )
+        else:
+            evaluation = evaluate_predictor(
+                model,
+                present_report,
+                control_report,
+                _default_rng(sc, rng, seed),
+                partition=sc.partition if metric == "all" else None,
+                prefixes=tuple(prefixes or PREFIX_RANGE),
+                subsets=subsets,
+                workers=workers,
+            )
+            result = evaluation if metric == "all" else evaluation.prediction
+
+    if cacheable:
+        _EVALUATIONS.put(key, result)
+        if metric == "all":
+            default_store().put(f"eval-{key}", result, EvaluationCodec())
+    return result
+
+
+def compare(
+    scenario: ScenarioLike = None,
+    predictors: Optional[Sequence[Union[str, Predictor]]] = None,
+    *,
+    train: TrainLike = "bot-test",
+    present: Union[str, Report] = "bot",
+    control: Union[str, Report] = "control",
+    params: Optional[dict] = None,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    prefixes: Optional[Sequence[int]] = None,
+    subsets: int = 1000,
+    workers: Optional[int] = None,
+) -> ComparisonResult:
+    """Head-to-head evaluation of rival predictors over one scenario.
+
+    ``predictors`` lists registry names and/or predictor instances
+    (default: every built-in model); ``params`` maps predictor names to
+    constructor keyword dicts.  All models fit on the same ``train``
+    feeds and share one §5 Monte-Carlo null per training cardinality,
+    then each runs the Table-3 block and the hostile-vs-innocent ROC.
+    Cached like :func:`evaluate`, keyed by every model's fingerprint.
+    """
+    sc = _resolve_scenario(scenario)
+    training = _training_reports(sc, train)
+    chosen = list(predictors) if predictors is not None else list(
+        DEFAULT_PREDICTORS
+    )
+    if not chosen:
+        raise ValueError("at least one predictor is required")
+    params = params or {}
+    unknown = set(params) - {p for p in chosen if isinstance(p, str)}
+    if unknown:
+        raise ValueError(
+            f"params given for predictors not in the comparison: "
+            f"{sorted(unknown)}"
+        )
+    models = [
+        _resolve_predictor(p, params.get(p) if isinstance(p, str) else None)
+        for p in chosen
+    ]
+    for model in models:
+        model.fit(training, window=PAPER_WINDOWS.OCTOBER)
+
+    present_report = _as_report(sc, present)
+    control_report = _as_report(sc, control)
+    knobs = {
+        "prefixes": None if prefixes is None else tuple(prefixes),
+        "subsets": subsets,
+        "seed": seed,
+        "models": [model.fingerprint() for model in models],
+    }
+    cacheable = rng is None
+    key = None
+    if cacheable:
+        key = _fingerprint(
+            {
+                "kind": "api.compare",
+                "scenario": sc.config.fingerprint(),
+                "present": [present_report.tag, _report_digest(present_report)],
+                "control": [control_report.tag, _report_digest(control_report)],
+                "knobs": knobs,
+            }
+        )
+        cached = _EVALUATIONS.get(key)
+        if cached is not None:
+            obs_metrics.inc("api.evaluation_cache.hits")
+            return cached
+
+    with obs_trace.span(
+        "api.compare", predictors=",".join(m.name for m in models)
+    ):
+        result = compare_predictors(
+            models,
+            present_report,
+            control_report,
+            _default_rng(sc, rng, seed),
+            partition=sc.partition,
+            prefixes=tuple(prefixes or PREFIX_RANGE),
+            subsets=subsets,
+            workers=workers,
+        )
+    if cacheable:
+        _EVALUATIONS.put(key, result)
+    return result
+
+
+# -- pre-1.2 verbs (deprecated shims) ----------------------------------------
+
+_DEPRECATED_WARNED = set()
+
+
+def _warn_deprecated(name: str, hint: str) -> None:
+    """One ``DeprecationWarning`` per legacy verb per process."""
+    if name in _DEPRECATED_WARNED:
+        return
+    _DEPRECATED_WARNED.add(name)
+    warnings.warn(
+        f"repro.api.{name} is deprecated since 1.2.0; use {hint}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def density_test(
     scenario: ScenarioLike = None,
     report: Union[str, Report] = "bot",
@@ -289,26 +647,25 @@ def density_test(
     naive_subsets: int = 20,
     workers: Optional[int] = None,
 ) -> DensityResult:
-    """The §4.2 spatial uncleanliness test for one report tag.
+    """Deprecated: the §4.2 spatial test — use
+    ``evaluate(metric="density", train=report)``.
 
-    Wraps :func:`repro.core.density.density_test`, resolving ``report``
-    and ``control`` tags against the scenario's Table 1 reports and
-    seeding the Monte-Carlo generator from the scenario seed when no
-    ``rng``/``seed`` is given.
+    Thin delegating wrapper; numbers are bit-identical to pre-1.2.
     """
-    sc = _resolve_scenario(scenario)
-    unclean = _as_report(sc, report)
-    with obs_trace.span("api.density_test", report=unclean.tag):
-        return _density_test(
-            unclean,
-            _as_report(sc, control),
-            _default_rng(sc, rng, seed),
-            prefixes=prefixes,
-            subsets=subsets,
-            include_naive=include_naive,
-            naive_subsets=naive_subsets,
-            workers=workers,
-        )
+    _warn_deprecated("density_test", 'evaluate(..., metric="density")')
+    return evaluate(
+        scenario,
+        metric="density",
+        train=report,
+        control=control,
+        rng=rng,
+        seed=seed,
+        prefixes=prefixes,
+        subsets=subsets,
+        include_naive=include_naive,
+        naive_subsets=naive_subsets,
+        workers=workers,
+    )
 
 
 def prediction_test(
@@ -323,26 +680,26 @@ def prediction_test(
     subsets: int = 1000,
     workers: Optional[int] = None,
 ) -> PredictionResult:
-    """The §5.2 temporal uncleanliness test for one (past, present) pair.
+    """Deprecated: the §5.2 temporal test — use
+    ``evaluate(metric="prediction", train=past, present=present)``.
 
-    Wraps :func:`repro.core.prediction.prediction_test` with the same
-    tag resolution and seeding conventions as :func:`density_test`.
+    Thin delegating wrapper over the uncleanliness adapter; the §5
+    numbers are bit-identical to pre-1.2 (the adapter's predicted
+    blocks at every prefix are exactly ``C_n(past)``).
     """
-    sc = _resolve_scenario(scenario)
-    past_report = _as_report(sc, past)
-    present_report = _as_report(sc, present)
-    with obs_trace.span(
-        "api.prediction_test", past=past_report.tag, present=present_report.tag
-    ):
-        return _prediction_test(
-            past_report,
-            present_report,
-            _as_report(sc, control),
-            _default_rng(sc, rng, seed),
-            prefixes=prefixes,
-            subsets=subsets,
-            workers=workers,
-        )
+    _warn_deprecated("prediction_test", 'evaluate(..., metric="prediction")')
+    return evaluate(
+        scenario,
+        metric="prediction",
+        train=past,
+        present=present,
+        control=control,
+        rng=rng,
+        seed=seed,
+        prefixes=prefixes,
+        subsets=subsets,
+        workers=workers,
+    )
 
 
 def evaluate_blocking(
@@ -351,16 +708,18 @@ def evaluate_blocking(
     bot_test: Union[str, Report] = "bot-test",
     prefixes: Sequence[int] = BLOCKING_PREFIXES,
 ) -> BlockingResult:
-    """The §6 virtual-blocking experiment (Table 3 plus ROC points).
+    """Deprecated: the §6 blocking experiment — use
+    ``evaluate(metric="blocking", train=bot_test)``.
 
-    Partitions October traffic into candidates (resolved through the
-    stage engine) and scores the virtual block of ``C_n(bot_test)`` at
-    each prefix via :func:`repro.core.blocking.blocking_test`.
+    Thin delegating wrapper; Table 3 is bit-identical to pre-1.2.
     """
-    sc = _resolve_scenario(scenario)
-    report = _as_report(sc, bot_test)
-    with obs_trace.span("api.evaluate_blocking", bot_test=report.tag):
-        return _blocking_test(sc.partition, report, prefixes)
+    _warn_deprecated("evaluate_blocking", 'evaluate(..., metric="blocking")')
+    return evaluate(
+        scenario,
+        metric="blocking",
+        train=bot_test,
+        prefixes=prefixes,
+    )
 
 
 # -- fleet / clearinghouse ---------------------------------------------------

@@ -6,6 +6,7 @@ Usage::
     uncleanliness figure4 [--subsets N] [--workers W]
     uncleanliness all --small
     uncleanliness ablation
+    uncleanliness compare [--predictors NAME ...] [--train TAG ...]
     uncleanliness score --reports bots.txt scan.txt --threshold 0.5 \
         --output blocklist.txt
     uncleanliness validate --small
@@ -81,9 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(_SCENARIO_EXPERIMENTS)
-        + ["figure1", "ablation", "all", "score", "validate", "profile",
-           "cache", "trace", "ingest", "serve", "fleet"],
-        help="which experiment to regenerate; 'score' scores user-provided "
+        + ["figure1", "ablation", "all", "compare", "score", "validate",
+           "profile", "cache", "trace", "ingest", "serve", "fleet"],
+        help="which experiment to regenerate; 'compare' runs rival "
+        "blocklist predictors head-to-head (Table 3 + ROC-AUC per model "
+        "over one shared Monte-Carlo null), 'score' scores user-provided "
         "report files into a /24 blocklist, 'validate' runs the statistical "
         "generator checks, 'profile' prints the address-structure profile "
         "of report files, 'cache' inspects or clears the artifact cache, "
@@ -165,6 +168,29 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=3,
         help="(fleet) number of heterogeneous member networks",
+    )
+    parser.add_argument(
+        "--predictors",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help="(compare) registered predictor names to pit against each "
+        "other (default: every registered model; see repro.api."
+        "list_predictors)",
+    )
+    parser.add_argument(
+        "--train",
+        nargs="+",
+        metavar="TAG",
+        default=None,
+        help="(compare) scenario report tag(s) the predictors fit on "
+        "(default: bot-test)",
+    )
+    parser.add_argument(
+        "--present",
+        metavar="TAG",
+        default="bot",
+        help="(compare) present-day report the §5 test targets",
     )
     parser.add_argument(
         "--days",
@@ -312,8 +338,14 @@ def _run_profile(args: argparse.Namespace) -> int:
 
 
 def _run_score(args: argparse.Namespace) -> int:
-    """Score user-provided report files into a blocklist."""
-    from repro.core.uncleanliness import UncleanlinessScorer
+    """Score user-provided report files into a blocklist.
+
+    Routed through the predictor registry: the files become the training
+    feeds of the ``uncleanliness`` model, whose ranking at the requested
+    prefix yields the blocklist (numerically identical to scoring with
+    :class:`repro.core.uncleanliness.UncleanlinessScorer` directly).
+    """
+    from repro.api import make_predictor
     from repro.io.reports import read_report
 
     if not args.reports:
@@ -329,21 +361,82 @@ def _run_score(args: argparse.Namespace) -> int:
         else:
             reports[key] = report
             weights[key] = 1.0
-    scorer = UncleanlinessScorer(prefix_len=args.prefix, weights=weights)
-    scores = scorer.score(reports)
-    blocks = scores.blocklist(args.threshold)
+    predictor = make_predictor("uncleanliness", weights=weights)
+    ranking = predictor.fit(reports).score_blocks(args.prefix)
+    blocks = ranking.blocklist(args.threshold)
     lines = [str(block) for block in blocks]
     if args.output:
         with open(args.output, "w") as handle:
             handle.write("\n".join(lines) + ("\n" if lines else ""))
         print(
-            f"scored {len(scores)} /{args.prefix} blocks from "
+            f"scored {len(ranking)} /{args.prefix} blocks from "
             f"{len(reports)} report class(es); wrote {len(blocks)} "
-            f"to {args.output}"
+            f"to {args.output} [{predictor.name} {predictor.fingerprint()[:12]}]"
         )
     else:
         for line in lines:
             print(line)
+    return 0
+
+
+def _run_compare(args: argparse.Namespace, extra: dict) -> int:
+    """Run rival predictors head-to-head over one scenario."""
+    from repro import api
+    from repro.experiments.common import render_table
+
+    run = api.run_scenario(_scenario_config(args))
+    train = list(args.train) if args.train else "bot-test"
+    try:
+        result = api.compare(
+            run,
+            args.predictors,
+            train=train,
+            present=args.present,
+            subsets=args.subsets,
+            workers=args.workers,
+        )
+    except (KeyError, ValueError) as err:
+        print(f"compare failed: {err}", file=sys.stderr)
+        return 2
+    extra["compare"] = result.manifest()
+
+    train_label = "+".join(train) if isinstance(train, list) else train
+    print(
+        f"Predictor comparison: {len(result.evaluations)} model(s) "
+        f"fit on '{train_label}', predicting '{result.present_tag}' "
+        f"({result.subsets} Monte-Carlo subsets, shared null)"
+    )
+    print()
+    print("Models:")
+    print(render_table([
+        {
+            "predictor": ev.predictor_name,
+            "fingerprint": ev.predictor_fingerprint[:12],
+            "training_addrs": ev.training_cardinality,
+            "params": ", ".join(
+                f"{key}={value}" for key, value in sorted(ev.params.items())
+            ) or "-",
+        }
+        for ev in result.evaluations
+    ]))
+
+    print()
+    print("Head-to-head (§5 predictive range, §6 rates at /24, ROC-AUC):")
+    print(render_table(result.summary_table()))
+
+    for ev in result.evaluations:
+        if ev.blocking is None:
+            continue
+        print()
+        print(f"Table 3 — {ev.predictor_name}:")
+        print(render_table(ev.blocking.table3()))
+
+    print()
+    ranking = [
+        f"{name} ({auc:.4f})" if auc is not None else f"{name} (no ROC)"
+        for name, auc in result.auc_ranking()
+    ]
+    print("AUC ranking: " + " > ".join(ranking))
     return 0
 
 
@@ -615,6 +708,9 @@ def _manifest_identity(args: argparse.Namespace):
 def _dispatch(args: argparse.Namespace, extra: dict) -> int:
     if args.experiment == "score":
         return _run_score(args)
+
+    if args.experiment == "compare":
+        return _run_compare(args, extra)
 
     if args.experiment == "fleet":
         return _run_fleet(args, extra)

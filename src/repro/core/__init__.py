@@ -16,6 +16,7 @@ from repro.core.blocking import (
     CandidatePartition,
     CoveredCountStatistic,
     blocking_test,
+    blocking_test_blocks,
     control_blocking_distribution,
     partition_candidates,
 )
@@ -39,10 +40,12 @@ from repro.core.prediction import (
     BETTER_PREDICTOR_LEVEL,
     IntersectionStatistic,
     PredictionResult,
+    control_intersection_distribution,
     prediction_test,
+    prediction_test_blocks,
 )
 from repro.core.report import DataClass, Report, ReportType
-from repro.core.roc import ROCCurve, auc, roc_curve
+from repro.core.roc import ROCCurve, auc, partition_roc, roc_curve
 from repro.core.sampling import empirical_subsets, monte_carlo, naive_sample
 from repro.core.scenario import PaperScenario, ScenarioConfig
 from repro.core.stats import BoxplotSummary, exceedance_fraction, summarize
@@ -77,6 +80,8 @@ __all__ = [
     "PredictionResult",
     "IntersectionStatistic",
     "prediction_test",
+    "prediction_test_blocks",
+    "control_intersection_distribution",
     "BETTER_PREDICTOR_LEVEL",
     "BLOCKING_PREFIXES",
     "BlockingRow",
@@ -85,6 +90,7 @@ __all__ = [
     "CoveredCountStatistic",
     "partition_candidates",
     "blocking_test",
+    "blocking_test_blocks",
     "control_blocking_distribution",
     "UncleanlinessScorer",
     "BlockScores",
@@ -105,6 +111,7 @@ __all__ = [
     "ROCCurve",
     "roc_curve",
     "auc",
+    "partition_roc",
     "TrackerConfig",
     "UncleanlinessTracker",
     "ListCoverageStatistic",

@@ -35,11 +35,14 @@ import numpy as np
 from repro.core import cidr as rcidr
 from repro.core.report import DataClass, Report, ReportType
 from repro.core.stats import BoxplotSummary, summarize
-from repro.core.trials import TrialEnsemble
+# Re-exported from its new home (repro.core.trials) for existing
+# importers; the statistic itself is predictor-generic and lives with
+# the trial-matrix machinery.
+from repro.core.trials import CoveredCountStatistic
 from repro.flows.log import FlowLog
 from repro.flows.record import Protocol
 from repro.ipspace import cidr as _lowcidr
-from repro.ipspace.kernels import intersection_counts_2d, member_counts_2d
+from repro.ipspace.kernels import member_counts_2d
 
 __all__ = [
     "BLOCKING_PREFIXES",
@@ -49,6 +52,7 @@ __all__ = [
     "CoveredCountStatistic",
     "partition_candidates",
     "blocking_test",
+    "blocking_test_blocks",
     "control_blocking_distribution",
 ]
 
@@ -208,21 +212,28 @@ def partition_candidates(
     )
 
 
-def blocking_test(
+def blocking_test_blocks(
     partition: CandidatePartition,
-    bot_test: Report,
+    blocks_by_prefix: Sequence[np.ndarray],
     prefixes: Sequence[int] = BLOCKING_PREFIXES,
 ) -> BlockingResult:
-    """Score the virtual block of :math:`C_n(R_{bot-test})` per prefix.
+    """Score a virtual block of arbitrary per-prefix block sets.
 
-    Implements Eqs. 7-9: at each n, count the hostile (TP), innocent (FP)
-    and combined (pop) candidates falling inside the blocked blocks;
-    unknowns are tallied separately and never scored.  All prefixes are
-    scored in one batched kernel pass per candidate class
-    (:func:`repro.ipspace.kernels.member_counts_2d`).
+    The predictor-generic half of the §6 experiment:
+    ``blocks_by_prefix[i]`` is any model's sorted blocked set at
+    ``prefixes[i]`` (the paper's choice is ``C_n(R_{bot-test})``, via
+    :func:`blocking_test`).  Implements Eqs. 7-9: at each n, count the
+    hostile (TP), innocent (FP) and combined (pop) candidates falling
+    inside the blocked blocks; unknowns are tallied separately and never
+    scored.  All prefixes are scored in one batched kernel pass per
+    candidate class (:func:`repro.ipspace.kernels.member_counts_2d`).
     """
-    prefixes = tuple(sorted(prefixes))
-    blocks_by_prefix = [rcidr.cidr_set(bot_test, n) for n in prefixes]
+    prefixes = tuple(prefixes)
+    blocks_by_prefix = list(blocks_by_prefix)
+    if len(blocks_by_prefix) != len(prefixes):
+        raise ValueError(
+            f"{len(blocks_by_prefix)} block sets for {len(prefixes)} prefixes"
+        )
 
     def scores(report: Report) -> np.ndarray:
         return member_counts_2d(
@@ -245,64 +256,19 @@ def blocking_test(
     return BlockingResult(rows=tuple(rows))
 
 
-@dataclass(frozen=True, eq=False)
-class CoveredCountStatistic:
-    """Per-prefix count of a fixed report's addresses covered by
-    :math:`C_n(\\text{subset})`.
+def blocking_test(
+    partition: CandidatePartition,
+    bot_test: Report,
+    prefixes: Sequence[int] = BLOCKING_PREFIXES,
+) -> BlockingResult:
+    """Score the virtual block of :math:`C_n(R_{bot-test})` per prefix.
 
-    The §6 null-model statistic (a :class:`~repro.core.trials.
-    TrialStatistic`): each trial subset plays the role of a random
-    "blocked report", and the statistic asks how many of the target
-    report's addresses its blocks would catch.  Target addresses are
-    pre-aggregated into ``(blocks, multiplicities)`` per prefix so the
-    batched evaluation is one weighted-intersection pass per prefix.
+    The paper's §6 configuration of :func:`blocking_test_blocks`: the
+    blocked sets are the old bot report's own CIDR sets.
     """
-
-    prefixes: Tuple[int, ...]
-    target_blocks: Tuple[np.ndarray, ...]
-    target_weights: Tuple[np.ndarray, ...]
-    target_tag: str = ""
-
-    @classmethod
-    def for_report(
-        cls, target: Report, prefixes: Sequence[int]
-    ) -> "CoveredCountStatistic":
-        prefixes = tuple(prefixes)
-        blocks, weights = [], []
-        for n in prefixes:
-            uniques, counts = np.unique(
-                _lowcidr.mask_array(target.addresses, n), return_counts=True
-            )
-            blocks.append(uniques)
-            weights.append(counts.astype(np.int64))
-        return cls(
-            prefixes=prefixes,
-            target_blocks=tuple(blocks),
-            target_weights=tuple(weights),
-            target_tag=target.tag,
-        )
-
-    def label(self) -> str:
-        joined = ",".join(str(n) for n in self.prefixes)
-        return f"covered-counts({joined})@{self.target_tag}"
-
-    def batch(self, ensemble: TrialEnsemble) -> np.ndarray:
-        return intersection_counts_2d(
-            ensemble.matrix,
-            self.target_blocks,
-            self.prefixes,
-            weights_by_prefix=self.target_weights,
-        )
-
-    def per_trial(self, subset: Report) -> List[int]:
-        values = []
-        for blocks, weights, n in zip(
-            self.target_blocks, self.target_weights, self.prefixes
-        ):
-            subset_blocks = rcidr.cidr_set(subset, n)
-            hit = np.isin(blocks, subset_blocks)
-            values.append(int(weights[hit].sum()))
-        return values
+    prefixes = tuple(sorted(prefixes))
+    blocks_by_prefix = [rcidr.cidr_set(bot_test, n) for n in prefixes]
+    return blocking_test_blocks(partition, blocks_by_prefix, prefixes)
 
 
 def control_blocking_distribution(

@@ -23,8 +23,10 @@ from repro.core import cidr as rcidr
 from repro.core.report import Report
 from repro.core.sampling import monte_carlo, naive_sample
 from repro.core.stats import BoxplotSummary, summarize
-from repro.core.trials import TrialEnsemble
-from repro.ipspace import cidr as _cidr
+# Re-exported from their new home (repro.core.trials) for existing
+# importers; the statistic itself is predictor-generic and lives with
+# the trial-matrix machinery.
+from repro.core.trials import BlockCountStatistic, _block_count_vector
 from repro.ipspace.kernels import block_counts_2d
 
 __all__ = [
@@ -108,37 +110,6 @@ class DensityResult:
 def density_curve(report: Report, prefixes: Iterable[int] = rcidr.PREFIX_RANGE) -> Dict[int, int]:
     """Block counts :math:`|C_n(R)|` per prefix length for one report."""
     return rcidr.block_counts(report, prefixes)
-
-
-def _block_count_vector(report: Report, prefixes: Sequence[int]) -> List[int]:
-    """Per-prefix block counts — the per-trial reference statistic of
-    Figs. 2-3 (the batched path is :class:`BlockCountStatistic`).
-
-    Module-level (not a closure) so the parallel ``monte_carlo`` path can
-    pickle it into worker processes.
-    """
-    return [_cidr.block_count(report, n) for n in prefixes]
-
-
-@dataclass(frozen=True)
-class BlockCountStatistic:
-    """The Figure 2/3 Monte-Carlo statistic: :math:`|C_n(S)|` per prefix.
-
-    Implements the :class:`~repro.core.trials.TrialStatistic` protocol;
-    ``batch`` evaluates a whole trial ensemble in
-    ``len(prefixes)`` masked passes over one matrix.
-    """
-
-    prefixes: Tuple[int, ...]
-
-    def label(self) -> str:
-        return "block-counts(" + ",".join(str(n) for n in self.prefixes) + ")"
-
-    def batch(self, ensemble: TrialEnsemble) -> np.ndarray:
-        return block_counts_2d(ensemble.matrix, self.prefixes)
-
-    def per_trial(self, subset: Report) -> List[int]:
-        return _block_count_vector(subset, self.prefixes)
 
 
 def control_density_distribution(

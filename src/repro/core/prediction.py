@@ -14,7 +14,6 @@ random control draws (§5.2).
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -24,13 +23,17 @@ from repro.core import cidr as rcidr
 from repro.core.report import Report
 from repro.core.sampling import monte_carlo
 from repro.core.stats import BoxplotSummary, exceedance_fraction, summarize
-from repro.core.trials import TrialEnsemble
-from repro.ipspace.kernels import intersection_counts_2d
+# Re-exported from their new home (repro.core.trials) for existing
+# importers; the statistic itself is predictor-generic and lives with
+# the trial-matrix machinery.
+from repro.core.trials import IntersectionStatistic, _intersection_vector
 
 __all__ = [
     "BETTER_PREDICTOR_LEVEL",
     "PredictionResult",
     "IntersectionStatistic",
+    "control_intersection_distribution",
+    "prediction_test_blocks",
     "prediction_test",
 ]
 
@@ -101,76 +104,89 @@ class PredictionResult:
         ]
 
 
-def _intersection_vector(
-    subset: Report,
+def control_intersection_distribution(
     present_blocks: Tuple[np.ndarray, ...],
-    prefixes: Tuple[int, ...],
-) -> List[int]:
-    """Per-prefix block intersections with the (precomputed) present
-    report — the per-trial reference statistic of Figs. 4-5 (the batched
-    path is :class:`IntersectionStatistic`).
+    control: Report,
+    size: int,
+    subsets: int,
+    rng: np.random.Generator,
+    prefixes: Sequence[int],
+    workers: Optional[int] = None,
+) -> Dict[int, np.ndarray]:
+    """Monte-Carlo intersection distributions over random control subsets.
 
-    Module-level (not a closure) so the parallel ``monte_carlo`` path can
-    pickle it into worker processes.
+    Draws ``subsets`` control subsets of cardinality ``size`` and
+    returns ``{n: array of |C_n(subset) ∩ present_blocks[n]|}``.  This
+    is the §5 null model with the predictor factored out: the observed
+    side compares *any* predicted block sets against the same
+    distribution, which is what lets one Monte-Carlo run serve every
+    rival model in a head-to-head comparison (the distribution depends
+    only on the present blocks, the control report and the cardinality
+    budget — never on the predictor).  Runs on the batched trial-matrix
+    path; values are bit-identical to the per-trial reference for any
+    ``workers`` setting.
     """
-    values = []
-    for blocks, n in zip(present_blocks, prefixes):
-        subset_blocks = rcidr.cidr_set(subset, n)
-        values.append(int(np.intersect1d(subset_blocks, blocks).size))
-    return values
+    prefixes = tuple(prefixes)
+    if len(present_blocks) != len(prefixes):
+        raise ValueError(
+            f"{len(present_blocks)} block sets for {len(prefixes)} prefixes"
+        )
+    if size > len(control):
+        raise ValueError(
+            f"control report ({len(control)}) smaller than subset size ({size})"
+        )
+    matrix = monte_carlo(
+        control,
+        size,
+        subsets,
+        rng,
+        statistic=IntersectionStatistic(
+            prefixes=prefixes, present_blocks=tuple(present_blocks)
+        ),
+        workers=workers,
+    )
+    return {n: matrix[:, column] for column, n in enumerate(prefixes)}
 
 
-@dataclass(frozen=True, eq=False)
-class IntersectionStatistic:
-    """The Figure 4/5 Monte-Carlo statistic:
-    :math:`|C_n(S) \\cap C_n(R_{present})|` per prefix.
+def prediction_test_blocks(
+    predicted_blocks: Sequence[np.ndarray],
+    present_blocks: Sequence[np.ndarray],
+    control_values: Dict[int, np.ndarray],
+    prefixes: Sequence[int],
+    past_tag: str,
+    present_tag: str,
+) -> PredictionResult:
+    """Assemble a :class:`PredictionResult` for arbitrary predicted blocks.
 
-    Implements the :class:`~repro.core.trials.TrialStatistic` protocol
-    against precomputed present-report block sets; ``batch`` evaluates a
-    whole trial ensemble with one searchsorted pass per prefix.
+    The predictor-generic half of the §5 test: ``predicted_blocks[i]``
+    is any model's sorted predicted block set at ``prefixes[i]``,
+    ``present_blocks[i]`` the present report's blocks, and
+    ``control_values`` the null distribution from
+    :func:`control_intersection_distribution` (shareable across
+    models).  Pure comparison — no sampling, no RNG.
     """
-
-    prefixes: Tuple[int, ...]
-    present_blocks: Tuple[np.ndarray, ...]
-
-    def label(self) -> str:
-        # The block sets parametrise the statistic just as much as the
-        # prefixes do, so their content keys the checkpoint label.
-        digest = hashlib.sha256()
-        for blocks in self.present_blocks:
-            digest.update(np.ascontiguousarray(blocks).tobytes())
-        joined = ",".join(str(n) for n in self.prefixes)
-        return f"intersections({joined})-{digest.hexdigest()[:12]}"
-
-    def batch(self, ensemble: TrialEnsemble) -> np.ndarray:
-        return intersection_counts_2d(
-            ensemble.matrix, self.present_blocks, self.prefixes
+    prefixes = tuple(prefixes)
+    observed = {
+        n: int(np.intersect1d(predicted, blocks).size)
+        for n, predicted, blocks in zip(
+            prefixes, predicted_blocks, present_blocks
         )
-
-    def per_trial(self, subset: Report) -> List[int]:
-        return _intersection_vector(subset, self.present_blocks, self.prefixes)
-
-    # -- shared-array protocol (repro.core.sampling shm handoff) ----------
-    # The block sets are the statistic's heavy payload; shipping them to
-    # Monte-Carlo workers by shared-memory handle instead of per-chunk
-    # pickle is what these three hooks enable.
-
-    def shared_arrays(self) -> dict:
-        return {
-            f"blocks{i}": np.ascontiguousarray(blocks)
-            for i, blocks in enumerate(self.present_blocks)
-        }
-
-    def without_shared_arrays(self) -> "IntersectionStatistic":
-        return IntersectionStatistic(prefixes=self.prefixes, present_blocks=())
-
-    def with_shared_arrays(self, arrays: dict) -> "IntersectionStatistic":
-        return IntersectionStatistic(
-            prefixes=self.prefixes,
-            present_blocks=tuple(
-                arrays[f"blocks{i}"] for i in range(len(self.prefixes))
-            ),
-        )
+    }
+    control_summaries = {
+        n: summarize(control_values[n]) for n in prefixes
+    }
+    exceedance = {
+        n: exceedance_fraction(observed[n], control_values[n])
+        for n in prefixes
+    }
+    return PredictionResult(
+        past_tag=past_tag,
+        present_tag=present_tag,
+        prefixes=prefixes,
+        observed=observed,
+        control=control_summaries,
+        exceedance=exceedance,
+    )
 
 
 def prediction_test(
@@ -195,38 +211,17 @@ def prediction_test(
     size = len(past)
     if size == 0:
         raise ValueError("cannot run a prediction test with an empty past report")
-    if size > len(control):
-        raise ValueError(
-            f"control report ({len(control)}) smaller than past report ({size})"
-        )
-    observed = rcidr.intersection_counts(past, present, prefixes)
-
+    past_blocks = tuple(rcidr.cidr_set(past, n) for n in prefixes)
     present_blocks = tuple(rcidr.cidr_set(present, n) for n in prefixes)
-    matrix = monte_carlo(
-        control,
-        size,
-        subsets,
-        rng,
-        statistic=IntersectionStatistic(
-            prefixes=prefixes, present_blocks=present_blocks
-        ),
+    control_values = control_intersection_distribution(
+        present_blocks, control, size, subsets, rng, prefixes,
         workers=workers,
     )
-    control_values: Dict[int, np.ndarray] = {
-        n: matrix[:, column] for column, n in enumerate(prefixes)
-    }
-
-    control_summaries = {
-        n: summarize(values) for n, values in control_values.items()
-    }
-    exceedance = {
-        n: exceedance_fraction(observed[n], control_values[n]) for n in prefixes
-    }
-    return PredictionResult(
+    return prediction_test_blocks(
+        past_blocks,
+        present_blocks,
+        control_values,
+        prefixes,
         past_tag=past.tag,
         present_tag=present.tag,
-        prefixes=prefixes,
-        observed=observed,
-        control=control_summaries,
-        exceedance=exceedance,
     )

@@ -18,7 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["ROCCurve", "roc_curve", "auc"]
+__all__ = ["ROCCurve", "roc_curve", "auc", "partition_roc"]
 
 
 @dataclass(frozen=True)
@@ -108,3 +108,25 @@ def roc_curve(scores: Sequence[float], labels: Sequence[bool]) -> ROCCurve:
 def auc(scores: Sequence[float], labels: Sequence[bool]) -> float:
     """Convenience: area under the ROC curve for scores/labels."""
     return roc_curve(scores, labels).auc()
+
+
+def partition_roc(
+    hostile_scores: Sequence[float], innocent_scores: Sequence[float]
+) -> ROCCurve:
+    """ROC curve of a score-based defence over a §6 candidate partition.
+
+    ``hostile_scores`` are a predictor's scores for the partition's
+    hostile addresses (the positives), ``innocent_scores`` for the
+    innocent ones (the negatives); unknowns are excluded, exactly as
+    Table 3 excludes them from ``pop(n)``.  This is how rival
+    predictors meet the paper's prefix-length operating characteristic
+    on the same axes: per-address scores replace the prefix sweep as
+    the threshold variable.
+    """
+    hostile = np.asarray(hostile_scores, dtype=float)
+    innocent = np.asarray(innocent_scores, dtype=float)
+    scores = np.concatenate([hostile, innocent])
+    labels = np.concatenate(
+        [np.ones(hostile.size, dtype=bool), np.zeros(innocent.size, dtype=bool)]
+    )
+    return roc_curve(scores, labels)

@@ -21,22 +21,35 @@ any worker, and the draws themselves (numpy's O(size) Floyd sampling
 per stream) are the only per-trial work left.
 
 :class:`TrialStatistic` is the protocol the statistical layers
+implement to plug into :func:`repro.core.sampling.monte_carlo`: a
+batched ``batch`` evaluation, a per-trial ``per_trial`` reference (kept
+for equivalence tests), and a deterministic ``label`` for checkpoint
+keys.  The concrete statistics the paper's tests run on — block counts
+(Figs. 2-3), block intersections (Figs. 4-5) and covered-address counts
+(§6's null model) — live here too, next to the protocol they implement:
+they are parametrised by *precomputed block sets*, never by a model, so
+any :class:`~repro.predict.protocol.Predictor` (or the raw reports the
+paper uses) can feed them.  The old homes
 (:mod:`repro.core.density`, :mod:`repro.core.prediction`,
-:mod:`repro.core.blocking`, :mod:`repro.core.tracking`) implement to
-plug into :func:`repro.core.sampling.monte_carlo`: a batched ``batch``
-evaluation, a per-trial ``per_trial`` reference (kept for equivalence
-tests), and a deterministic ``label`` for checkpoint keys.
+:mod:`repro.core.blocking`) keep re-exports.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import cidr as rcidr
 from repro.core.report import DataClass, Report, ReportType
-from repro.ipspace.kernels import merge_sorted_rows
+from repro.ipspace import cidr as _lowcidr
+from repro.ipspace.kernels import (
+    block_counts_2d,
+    intersection_counts_2d,
+    merge_sorted_rows,
+)
 
 try:  # Protocol is typing-only; runtime dispatch uses hasattr("batch").
     from typing import Protocol, runtime_checkable
@@ -47,7 +60,15 @@ except ImportError:  # pragma: no cover - python < 3.8
         return cls
 
 
-__all__ = ["TrialEnsemble", "TrialStatistic", "trial_seed", "is_batched"]
+__all__ = [
+    "TrialEnsemble",
+    "TrialStatistic",
+    "trial_seed",
+    "is_batched",
+    "BlockCountStatistic",
+    "IntersectionStatistic",
+    "CoveredCountStatistic",
+]
 
 
 def trial_seed(
@@ -208,3 +229,174 @@ class TrialEnsemble:
             f"cardinality={self.cardinality}, start={self.start}, "
             f"source={self.source_tag!r})"
         )
+
+
+# ---------------------------------------------------------------------------
+# The concrete trial-matrix statistics.  Each is parametrised by plain
+# block-set data (no model objects), which is what keeps the Monte-Carlo
+# layer predictor-generic: the §5/§6 evaluators hand any predictor's
+# block sets to the same statistics the paper's raw reports feed.
+# ---------------------------------------------------------------------------
+
+
+def _block_count_vector(report: Report, prefixes: Sequence[int]) -> List[int]:
+    """Per-prefix block counts — the per-trial reference statistic of
+    Figs. 2-3 (the batched path is :class:`BlockCountStatistic`).
+
+    Module-level (not a closure) so the parallel ``monte_carlo`` path can
+    pickle it into worker processes.
+    """
+    return [_lowcidr.block_count(report, n) for n in prefixes]
+
+
+@dataclass(frozen=True)
+class BlockCountStatistic:
+    """The Figure 2/3 Monte-Carlo statistic: :math:`|C_n(S)|` per prefix.
+
+    Implements the :class:`TrialStatistic` protocol; ``batch`` evaluates
+    a whole trial ensemble in ``len(prefixes)`` masked passes over one
+    matrix.
+    """
+
+    prefixes: Tuple[int, ...]
+
+    def label(self) -> str:
+        return "block-counts(" + ",".join(str(n) for n in self.prefixes) + ")"
+
+    def batch(self, ensemble: TrialEnsemble) -> np.ndarray:
+        return block_counts_2d(ensemble.matrix, self.prefixes)
+
+    def per_trial(self, subset: Report) -> List[int]:
+        return _block_count_vector(subset, self.prefixes)
+
+
+def _intersection_vector(
+    subset: Report,
+    present_blocks: Tuple[np.ndarray, ...],
+    prefixes: Tuple[int, ...],
+) -> List[int]:
+    """Per-prefix block intersections with the (precomputed) present
+    report — the per-trial reference statistic of Figs. 4-5 (the batched
+    path is :class:`IntersectionStatistic`).
+
+    Module-level (not a closure) so the parallel ``monte_carlo`` path can
+    pickle it into worker processes.
+    """
+    values = []
+    for blocks, n in zip(present_blocks, prefixes):
+        subset_blocks = rcidr.cidr_set(subset, n)
+        values.append(int(np.intersect1d(subset_blocks, blocks).size))
+    return values
+
+
+@dataclass(frozen=True, eq=False)
+class IntersectionStatistic:
+    """The Figure 4/5 Monte-Carlo statistic:
+    :math:`|C_n(S) \\cap C_n(R_{present})|` per prefix.
+
+    Implements the :class:`TrialStatistic` protocol against precomputed
+    present-report block sets; ``batch`` evaluates a whole trial
+    ensemble with one searchsorted pass per prefix.
+    """
+
+    prefixes: Tuple[int, ...]
+    present_blocks: Tuple[np.ndarray, ...]
+
+    def label(self) -> str:
+        # The block sets parametrise the statistic just as much as the
+        # prefixes do, so their content keys the checkpoint label.
+        digest = hashlib.sha256()
+        for blocks in self.present_blocks:
+            digest.update(np.ascontiguousarray(blocks).tobytes())
+        joined = ",".join(str(n) for n in self.prefixes)
+        return f"intersections({joined})-{digest.hexdigest()[:12]}"
+
+    def batch(self, ensemble: TrialEnsemble) -> np.ndarray:
+        return intersection_counts_2d(
+            ensemble.matrix, self.present_blocks, self.prefixes
+        )
+
+    def per_trial(self, subset: Report) -> List[int]:
+        return _intersection_vector(subset, self.present_blocks, self.prefixes)
+
+    # -- shared-array protocol (repro.core.sampling shm handoff) ----------
+    # The block sets are the statistic's heavy payload; shipping them to
+    # Monte-Carlo workers by shared-memory handle instead of per-chunk
+    # pickle is what these three hooks enable.
+
+    def shared_arrays(self) -> dict:
+        return {
+            f"blocks{i}": np.ascontiguousarray(blocks)
+            for i, blocks in enumerate(self.present_blocks)
+        }
+
+    def without_shared_arrays(self) -> "IntersectionStatistic":
+        return IntersectionStatistic(prefixes=self.prefixes, present_blocks=())
+
+    def with_shared_arrays(self, arrays: dict) -> "IntersectionStatistic":
+        return IntersectionStatistic(
+            prefixes=self.prefixes,
+            present_blocks=tuple(
+                arrays[f"blocks{i}"] for i in range(len(self.prefixes))
+            ),
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class CoveredCountStatistic:
+    """Per-prefix count of a fixed report's addresses covered by
+    :math:`C_n(\\text{subset})`.
+
+    The §6 null-model statistic (a :class:`TrialStatistic`): each trial
+    subset plays the role of a random "blocked report", and the
+    statistic asks how many of the target report's addresses its blocks
+    would catch.  Target addresses are pre-aggregated into
+    ``(blocks, multiplicities)`` per prefix so the batched evaluation is
+    one weighted-intersection pass per prefix.
+    """
+
+    prefixes: Tuple[int, ...]
+    target_blocks: Tuple[np.ndarray, ...]
+    target_weights: Tuple[np.ndarray, ...]
+    target_tag: str = ""
+
+    @classmethod
+    def for_report(
+        cls, target: Report, prefixes: Sequence[int]
+    ) -> "CoveredCountStatistic":
+        prefixes = tuple(prefixes)
+        blocks, weights = [], []
+        for n in prefixes:
+            uniques, counts = np.unique(
+                _lowcidr.mask_array(target.addresses, n), return_counts=True
+            )
+            blocks.append(uniques)
+            weights.append(counts.astype(np.int64))
+        return cls(
+            prefixes=prefixes,
+            target_blocks=tuple(blocks),
+            target_weights=tuple(weights),
+            target_tag=target.tag,
+        )
+
+    def label(self) -> str:
+        joined = ",".join(str(n) for n in self.prefixes)
+        return f"covered-counts({joined})@{self.target_tag}"
+
+    def batch(self, ensemble: TrialEnsemble) -> np.ndarray:
+        return intersection_counts_2d(
+            ensemble.matrix,
+            self.target_blocks,
+            self.prefixes,
+            weights_by_prefix=self.target_weights,
+        )
+
+    def per_trial(self, subset: Report) -> List[int]:
+        values = []
+        for blocks, weights, n in zip(
+            self.target_blocks, self.target_weights, self.prefixes
+        ):
+            subset_blocks = rcidr.cidr_set(subset, n)
+            hit = np.isin(blocks, subset_blocks)
+            values.append(int(weights[hit].sum()))
+        return values

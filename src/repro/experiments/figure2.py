@@ -17,7 +17,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.density import DensityResult, density_test
+from repro.core.density import DensityResult
 from repro.core.scenario import PaperScenario
 from repro.experiments.common import render_table
 
@@ -102,11 +102,18 @@ def run(
     workers: Optional[int] = None,
 ) -> Figure2Result:
     """Regenerate Figure 2 from a built scenario."""
+    # Routed through the facade's predictor-generic evaluate() entry;
+    # with an explicit rng the numbers are bit-identical to calling
+    # repro.core.density.density_test directly.
+    from repro.api import evaluate
+
     rng = rng if rng is not None else np.random.default_rng(scenario.config.seed)
-    density = density_test(
-        scenario.bot,
-        scenario.control,
-        rng,
+    density = evaluate(
+        scenario,
+        metric="density",
+        train=scenario.bot,
+        control=scenario.control,
+        rng=rng,
         subsets=subsets,
         include_naive=True,
         naive_subsets=naive_subsets,

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.density import DensityResult, density_test
+from repro.core.density import DensityResult
 from repro.core.scenario import PaperScenario
 from repro.experiments.common import render_table
 
@@ -69,11 +69,18 @@ def run(
     workers: Optional[int] = None,
 ) -> Figure3Result:
     """Regenerate the four panels of Figure 3."""
+    from repro.api import evaluate
+
     rng = rng if rng is not None else np.random.default_rng(scenario.config.seed)
     panels = {
-        tag: density_test(
-            scenario.report(tag), scenario.control, rng,
-            subsets=subsets, workers=workers,
+        tag: evaluate(
+            scenario,
+            metric="density",
+            train=scenario.report(tag),
+            control=scenario.control,
+            rng=rng,
+            subsets=subsets,
+            workers=workers,
         )
         for tag in REPORT_TAGS
     }

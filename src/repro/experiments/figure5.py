@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.prediction import PredictionResult, prediction_test
+from repro.core.prediction import PredictionResult
 from repro.core.scenario import PaperScenario
 from repro.experiments.common import render_table
 
@@ -40,12 +40,16 @@ def run(
     workers: Optional[int] = None,
 ) -> Figure5Result:
     """Regenerate Figure 5."""
+    from repro.api import evaluate
+
     rng = rng if rng is not None else np.random.default_rng(scenario.config.seed)
-    prediction = prediction_test(
-        scenario.phish_test,
-        scenario.phish_present,
-        scenario.control,
-        rng,
+    prediction = evaluate(
+        scenario,
+        metric="prediction",
+        train=scenario.phish_test,
+        present=scenario.phish_present,
+        control=scenario.control,
+        rng=rng,
         subsets=subsets,
         workers=workers,
     )

@@ -1,0 +1,79 @@
+"""Predictor registry: names to constructors.
+
+The registry is the single place a predictor is given a public name;
+``repro.api.make_predictor`` / ``list_predictors`` and the CLI
+``compare`` verb all resolve through it.  Registration is explicit (no
+import-time scanning) so the set of models is auditable at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.predict.graphcluster import GraphClusterPredictor
+from repro.predict.protocol import BasePredictor
+from repro.predict.recommender import RecommenderPredictor
+from repro.predict.uncleanliness import UncleanlinessPredictor
+
+__all__ = [
+    "DEFAULT_PREDICTORS",
+    "register_predictor",
+    "list_predictors",
+    "make_predictor",
+    "predictor_summaries",
+]
+
+_REGISTRY: Dict[str, Callable[..., BasePredictor]] = {}
+
+#: The models every head-to-head comparison runs by default, in
+#: presentation order (paper baseline first).
+DEFAULT_PREDICTORS = ("uncleanliness", "recommender", "graphcluster")
+
+
+def register_predictor(
+    name: str, factory: Callable[..., BasePredictor]
+) -> None:
+    """Register ``factory`` under ``name`` (overwrites are rejected)."""
+    if name in _REGISTRY:
+        raise ValueError(f"predictor {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def list_predictors() -> List[str]:
+    """Registered predictor names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_predictor(name: str, **params) -> BasePredictor:
+    """Construct a registered predictor by name.
+
+    Hyperparameters pass through to the model constructor; unknown
+    names raise with the available choices spelled out.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor {name!r}; available: {list_predictors()}"
+        ) from None
+    return factory(**params)
+
+
+def predictor_summaries() -> List[dict]:
+    """One display row per registered predictor (name, class, defaults)."""
+    rows = []
+    for name in list_predictors():
+        model = _REGISTRY[name]()
+        rows.append(
+            {
+                "predictor": name,
+                "class": type(model).__name__,
+                "params": model.params(),
+            }
+        )
+    return rows
+
+
+register_predictor("uncleanliness", UncleanlinessPredictor)
+register_predictor("recommender", RecommenderPredictor)
+register_predictor("graphcluster", GraphClusterPredictor)

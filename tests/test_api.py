@@ -37,7 +37,7 @@ def test_top_level_reexports_facade_only():
     assert repro.density_test is density_test
     assert repro.prediction_test is prediction_test
     assert repro.evaluate_blocking is evaluate_blocking
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
 
 
 def test_run_scenario_returns_frozen_shared_handle(small_scenario):

@@ -108,3 +108,55 @@ class TestLegacyTopLevelNames:
         a = legacy_scorer(prefix_len=24).score(reports)
         b = UncleanlinessScorer(prefix_len=24).score(reports)
         assert np.array_equal(a.scores, b.scores)
+
+
+class TestApiVerbShims:
+    """The 1.2 facade verbs: ``density_test`` / ``prediction_test`` /
+    ``evaluate_blocking`` warn once and delegate to ``evaluate``."""
+
+    @pytest.fixture
+    def reset_api_warned(self):
+        from repro import api
+
+        saved = set(api._DEPRECATED_WARNED)
+        api._DEPRECATED_WARNED.clear()
+        yield
+        api._DEPRECATED_WARNED.clear()
+        api._DEPRECATED_WARNED.update(saved)
+
+    def test_each_verb_warns_once(self, reset_api_warned, small_scenario):
+        from repro import api
+
+        run = api.run_scenario(small=True)
+        with pytest.warns(DeprecationWarning, match="deprecated since 1.2.0"):
+            api.evaluate_blocking(run)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            api.evaluate_blocking(run)  # second use: silent
+        # Each verb keeps its own first-use warning.
+        with pytest.warns(DeprecationWarning, match="prediction_test"):
+            api.prediction_test(run, subsets=20)
+        with pytest.warns(DeprecationWarning, match="density_test"):
+            api.density_test(run, subsets=20)
+
+    def test_shims_delegate_to_evaluate(self, reset_api_warned,
+                                        small_scenario):
+        from repro import api
+
+        run = api.run_scenario(small=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            blocking = api.evaluate_blocking(run)
+            prediction = api.prediction_test(run, subsets=20, seed=99)
+            density = api.density_test(run, subsets=20, seed=99)
+        assert blocking.table3() == api.evaluate(
+            run, metric="blocking"
+        ).table3()
+        canonical = api.evaluate(
+            run, metric="prediction", subsets=20, seed=99
+        )
+        assert prediction.observed == canonical.observed
+        assert prediction.exceedance == canonical.exceedance
+        assert density.rows() == api.evaluate(
+            run, metric="density", train="bot", subsets=20, seed=99
+        ).rows()

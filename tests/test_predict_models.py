@@ -1,0 +1,260 @@
+"""Model-specific behaviour of the three registered predictors.
+
+The load-bearing property is the adapter equivalence: the
+``uncleanliness`` predictor must be **bit-identical** to calling
+:class:`repro.core.uncleanliness.UncleanlinessScorer` directly, for any
+training feeds — pinned here with hypothesis over arbitrary address
+sets.  The rivals get behavioural checks of the mechanisms that make
+them rivals (time decay and expansion for the recommender, cluster
+inheritance and singleton damping for the graph clusterer).
+"""
+
+import datetime
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.report import DataClass, Report, ReportType
+from repro.core.uncleanliness import UncleanlinessScorer
+from repro.predict import (
+    GraphClusterPredictor,
+    RecommenderPredictor,
+    UncleanlinessPredictor,
+)
+from repro.sim.timeline import PAPER_WINDOWS
+
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF)
+address_lists = st.lists(addresses, min_size=1, max_size=150)
+prefix_lens = st.sampled_from([8, 16, 20, 24, 28, 32])
+
+
+def report(tag, addrs, data_class=DataClass.NONE, period=None):
+    return Report(
+        tag=tag,
+        addresses=np.unique(np.asarray(addrs, dtype=np.uint32)),
+        report_type=ReportType.PROVIDED,
+        data_class=data_class,
+        period=period,
+    )
+
+
+class TestUncleanlinessAdapterEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(address_lists, address_lists, prefix_lens)
+    def test_bit_identical_to_scorer(self, bot_addrs, scan_addrs, prefix_len):
+        """For any two class feeds, adapter scores == direct scorer scores."""
+        reports = {
+            "bots": report("bots", bot_addrs, DataClass.BOTS),
+            "scanning": report("scanning", scan_addrs, DataClass.SCANNING),
+        }
+        ranking = UncleanlinessPredictor().fit(reports).score_blocks(prefix_len)
+        direct = UncleanlinessScorer(prefix_len=prefix_len).score(
+            {"bots": reports["bots"], "scanning": reports["scanning"]}
+        )
+        np.testing.assert_array_equal(ranking.blocks, direct.blocks)
+        np.testing.assert_array_equal(ranking.scores, direct.scores)
+
+    @settings(max_examples=40, deadline=None)
+    @given(address_lists, address_lists, prefix_lens)
+    def test_same_class_feeds_union(self, first, second, prefix_len):
+        """Two feeds of one class score like their unioned report."""
+        split = {
+            "feed-a": report("feed-a", first, DataClass.SPAM),
+            "feed-b": report("feed-b", second, DataClass.SPAM),
+        }
+        merged = {
+            "spam": report("spam", np.union1d(
+                split["feed-a"].addresses, split["feed-b"].addresses
+            ), DataClass.SPAM),
+        }
+        a = UncleanlinessPredictor().fit(split).score_blocks(prefix_len)
+        b = UncleanlinessPredictor().fit(merged).score_blocks(prefix_len)
+        np.testing.assert_array_equal(a.blocks, b.blocks)
+        np.testing.assert_array_equal(a.scores, b.scores)
+
+    def test_scenario_feeds_bit_identical(self, small_scenario):
+        """The real scenario feeds, all prefixes — exact equivalence."""
+        tags = ("bot", "scan", "spam")
+        reports = {tag: small_scenario.report(tag) for tag in tags}
+        model = UncleanlinessPredictor().fit(reports)
+        grouped = {r.data_class: r for r in reports.values()}
+        assert len(grouped) == len(reports)  # distinct classes
+        for prefix_len in range(8, 33, 4):
+            weights = model._effective_weights(grouped)
+            direct = UncleanlinessScorer(
+                prefix_len=prefix_len, weights=weights
+            ).score(grouped)
+            ranking = model.score_blocks(prefix_len)
+            np.testing.assert_array_equal(ranking.blocks, direct.blocks)
+            np.testing.assert_array_equal(ranking.scores, direct.scores)
+
+    def test_unknown_class_defaults_to_unit_weight(self):
+        reports = {"custom": report("custom", [1, 2, 3])}
+        ranking = UncleanlinessPredictor().fit(reports).score_blocks(24)
+        assert len(ranking) == 1
+        assert ranking.scores[0] == pytest.approx(1.0 - np.exp(-3 / 4))
+
+
+class TestRecommender:
+    def _dated(self, tag, addrs, end):
+        return report(
+            tag, addrs, period=(end - datetime.timedelta(days=13), end)
+        )
+
+    def test_stale_feed_decays(self):
+        """The same evidence scores lower from an older report."""
+        window = PAPER_WINDOWS.OCTOBER
+        addrs = [0x0A000001, 0x0A000002, 0x0A000003]
+        fresh_end = datetime.date(2006, 10, 14)
+        stale_end = datetime.date(2006, 5, 14)
+        fresh = RecommenderPredictor(expand=False).fit(
+            {"feed": self._dated("feed", addrs, fresh_end)}, window=window
+        )
+        stale = RecommenderPredictor(expand=False).fit(
+            {"feed": self._dated("feed", addrs, stale_end)}, window=window
+        )
+        assert (
+            stale.score_blocks(24).scores < fresh.score_blocks(24).scores
+        ).all()
+
+    def test_decay_halves_at_halflife(self):
+        model = RecommenderPredictor(halflife_days=30.0)
+        window = PAPER_WINDOWS.OCTOBER
+        end = datetime.date(2006, 9, 14)  # 30 days before window end
+        model.fit({"feed": self._dated("feed", [1], end)}, window=window)
+        assert model._feed_decay("feed") == pytest.approx(0.5)
+
+    def test_expansion_is_strict_superset(self, small_scenario):
+        training = {"bot-test": small_scenario.report("bot-test")}
+        expanded = RecommenderPredictor(expand=True).fit(training)
+        compact = RecommenderPredictor(expand=False).fit(training)
+        wide = expanded.score_blocks(24).blocks
+        narrow = compact.score_blocks(24).blocks
+        assert np.isin(narrow, wide).all()
+        assert wide.size > narrow.size
+
+    def test_expanded_blocks_score_below_their_sources(self, small_scenario):
+        training = {"bot-test": small_scenario.report("bot-test")}
+        model = RecommenderPredictor(expand=True, spatial=0.25).fit(training)
+        ranking = model.score_blocks(24)
+        observed = RecommenderPredictor(expand=False, spatial=0.25).fit(
+            training
+        ).score_blocks(24)
+        fresh = np.setdiff1d(ranking.blocks, observed.blocks)
+        assert fresh.size > 0
+        assert ranking.scores_of(fresh).max() < observed.scores.max()
+
+    def test_neighborhood_recommends_unseen_blocks(self):
+        """A feed gains intensity on blocks only its neighbor reported."""
+        shared = [0x0A000001, 0x0A000101]
+        only_b = [0x0A000201]
+        training = {
+            "a": report("a", shared),
+            "b": report("b", shared + only_b),
+        }
+        blended = RecommenderPredictor(
+            blend=0.5, spatial=0.0, expand=False
+        ).fit(training)
+        solo = RecommenderPredictor(
+            blend=0.0, spatial=0.0, expand=False
+        ).fit({"a": training["a"]})
+        assert blended.score_blocks(24).score_of("10.0.2.1") > 0.0
+        assert solo.score_blocks(24).score_of("10.0.2.1") == 0.0
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            RecommenderPredictor(halflife_days=0)
+        with pytest.raises(ValueError):
+            RecommenderPredictor(blend=1.5)
+        with pytest.raises(ValueError):
+            RecommenderPredictor(spatial=-0.1)
+
+
+class TestGraphCluster:
+    def test_adjacent_blocks_share_cluster(self):
+        addrs = [0x0A000001, 0x0A000101, 0x0A00FF01, 0x14000001]
+        model = GraphClusterPredictor(merge_gap=1).fit(
+            {"feed": report("feed", addrs)}
+        )
+        labels = model.cluster_ids(24)
+        assert labels[0] == labels[1]  # adjacent /24s merge
+        assert labels[2] != labels[1]  # big gap splits
+        assert labels[3] != labels[2]  # different parent splits
+
+    def test_merge_gap_bridges_holes(self):
+        addrs = [0x0A000001, 0x0A000201]  # /24s two apart (one hole)
+        tight = GraphClusterPredictor(merge_gap=1).fit(
+            {"feed": report("feed", addrs)}
+        )
+        loose = GraphClusterPredictor(merge_gap=2).fit(
+            {"feed": report("feed", addrs)}
+        )
+        assert tight.cluster_ids(24)[0] != tight.cluster_ids(24)[1]
+        assert loose.cluster_ids(24)[0] == loose.cluster_ids(24)[1]
+
+    def test_members_inherit_cluster_score(self):
+        # One strong /24 (3 addresses) adjacent to one weak /24.
+        addrs = [0x0A000001, 0x0A000002, 0x0A000003, 0x0A000101]
+        ranking = GraphClusterPredictor().fit(
+            {"feed": report("feed", addrs)}
+        ).score_blocks(24)
+        assert len(ranking) == 2
+        assert ranking.scores[0] == ranking.scores[1]
+        expected = 1.0 - np.exp(-(np.log1p(3) + np.log1p(1)) / 4.0)
+        assert ranking.scores[0] == pytest.approx(expected)
+
+    def test_singleton_damping(self):
+        lone = GraphClusterPredictor(
+            min_support=2, singleton_penalty=0.5
+        ).fit({"feed": report("feed", [0x0A000001])})
+        supported = GraphClusterPredictor(
+            min_support=2, singleton_penalty=0.5
+        ).fit({"feed": report("feed", [0x0A000001, 0x0A000002])})
+        lone_score = lone.score_blocks(24).scores[0]
+        base = 1.0 - np.exp(-np.log1p(1) / 4.0)
+        assert lone_score == pytest.approx(0.5 * base)
+        # Two addresses meet min_support: no damping.
+        assert supported.score_blocks(24).scores[0] == pytest.approx(
+            1.0 - np.exp(-np.log1p(2) / 4.0)
+        )
+
+    def test_weak_member_of_strong_run_outranks_lone_strong_block(self):
+        run = [  # three adjacent /24s, one address each
+            0x0A000001, 0x0A000101, 0x0A000201,
+        ]
+        lone = [0x14000001, 0x14000002]  # one /24, two addresses
+        ranking = GraphClusterPredictor().fit(
+            {"feed": report("feed", run + lone)}
+        ).score_blocks(24)
+        run_score = ranking.score_of("10.0.2.1")
+        lone_score = ranking.score_of("20.0.0.1")
+        assert run_score > lone_score
+
+    @settings(max_examples=40, deadline=None)
+    @given(address_lists, prefix_lens)
+    def test_cluster_invariants(self, addrs, prefix_len):
+        model = GraphClusterPredictor().fit({"feed": report("feed", addrs)})
+        ranking = model.score_blocks(prefix_len)
+        labels = model.cluster_ids(prefix_len)
+        assert labels.size == len(ranking)
+        if labels.size:
+            # Labels are 0..k contiguous and non-decreasing over sorted
+            # blocks (single-link over a sorted axis).
+            assert labels[0] == 0
+            assert set(np.diff(labels)) <= {0, 1}
+        # Equal label => equal score (members inherit cluster score).
+        for label in np.unique(labels):
+            member_scores = ranking.scores[labels == label]
+            assert np.unique(member_scores).size == 1
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            GraphClusterPredictor(merge_gap=-1)
+        with pytest.raises(ValueError):
+            GraphClusterPredictor(min_support=0)
+        with pytest.raises(ValueError):
+            GraphClusterPredictor(singleton_penalty=2.0)
+        with pytest.raises(ValueError):
+            GraphClusterPredictor(tau=0.0)
