@@ -86,6 +86,9 @@ from repro.predict import make_predictor as _registry_make
 from repro.predict.evaluate import EvaluationCodec
 from repro.predict.protocol import BasePredictor, _report_digest
 from repro.predict.registry import DEFAULT_PREDICTORS
+from repro.scenarios import ScenarioPack, get_pack
+from repro.scenarios import list_packs as _registry_list_packs
+from repro.scenarios import pack_names
 from repro.sim.timeline import PAPER_WINDOWS
 from repro.stream import StreamConfig, UncleanlinessService, day_batches
 from repro.stream.checkpoint import stream_fingerprint
@@ -93,6 +96,10 @@ from repro.stream.checkpoint import stream_fingerprint
 __all__ = [
     "ScenarioRun",
     "run_scenario",
+    "run_pack",
+    "list_packs",
+    "pack_names",
+    "ScenarioPack",
     "evaluate",
     "compare",
     "list_predictors",
@@ -277,7 +284,20 @@ def run_scenario(
 ScenarioLike = Union[ScenarioRun, PaperScenario, ScenarioConfig, None]
 
 
-def _resolve_scenario(scenario: ScenarioLike) -> PaperScenario:
+def _resolve_scenario(
+    scenario: ScenarioLike, pack: Optional[str] = None
+) -> PaperScenario:
+    if pack is not None:
+        if isinstance(scenario, (ScenarioRun, PaperScenario)):
+            base = scenario.config
+        elif isinstance(scenario, ScenarioConfig) or scenario is None:
+            base = scenario
+        else:
+            raise TypeError(
+                f"expected a ScenarioRun, PaperScenario, ScenarioConfig or "
+                f"None, got {type(scenario).__name__}"
+            )
+        return _scenario_for(get_pack(pack).build(base))
     if isinstance(scenario, ScenarioRun):
         return scenario._scenario
     if isinstance(scenario, PaperScenario):
@@ -288,6 +308,29 @@ def _resolve_scenario(scenario: ScenarioLike) -> PaperScenario:
         f"expected a ScenarioRun, PaperScenario, ScenarioConfig or None, "
         f"got {type(scenario).__name__}"
     )
+
+
+def list_packs() -> List[ScenarioPack]:
+    """The registered scenario packs (see :mod:`repro.scenarios`)."""
+    return _registry_list_packs()
+
+
+def run_pack(
+    name: str,
+    *,
+    base: Optional[ScenarioConfig] = None,
+    small: bool = False,
+    seed: Optional[int] = None,
+) -> ScenarioRun:
+    """Configure a scenario pack's world (see :mod:`repro.scenarios`).
+
+    A pack is a pure config transform, so the returned run flows through
+    the same fingerprint-keyed caches as any hand-built config —
+    ``run_pack("paper-default")`` is byte-for-byte ``run_scenario()``.
+    """
+    with obs_trace.span("api.run_pack", pack=name):
+        config = get_pack(name).build(base, small=small, seed=seed)
+        return run_scenario(config)
 
 
 def _as_report(scenario: PaperScenario, report: Union[str, Report]) -> Report:
@@ -419,8 +462,14 @@ def evaluate(
     include_naive: bool = False,
     naive_subsets: int = 20,
     workers: Optional[int] = None,
+    pack: Optional[str] = None,
 ):
     """The single evaluation entry: any predictor, any paper metric.
+
+    ``pack`` names a scenario pack to apply before evaluation: the
+    pack's transform runs over the given scenario's config (or the
+    default when none is given) and the evaluation targets the variant
+    world.
 
     ``predictor`` is a registry name (with optional constructor
     ``params``) or any fitted-or-not :class:`repro.predict.Predictor`;
@@ -451,7 +500,7 @@ def evaluate(
         raise ValueError(
             f"unknown metric {metric!r}; expected one of {_METRICS}"
         )
-    sc = _resolve_scenario(scenario)
+    sc = _resolve_scenario(scenario, pack)
     training = _training_reports(sc, train)
     model = _resolve_predictor(predictor, params)
     model.fit(training, window=PAPER_WINDOWS.OCTOBER)
@@ -543,8 +592,12 @@ def compare(
     prefixes: Optional[Sequence[int]] = None,
     subsets: int = 1000,
     workers: Optional[int] = None,
+    pack: Optional[str] = None,
 ) -> ComparisonResult:
     """Head-to-head evaluation of rival predictors over one scenario.
+
+    ``pack`` applies a scenario pack to the (given or default) config
+    first — the natural way to ask "which model wins under churn?".
 
     ``predictors`` lists registry names and/or predictor instances
     (default: every built-in model); ``params`` maps predictor names to
@@ -553,7 +606,7 @@ def compare(
     then each runs the Table-3 block and the hostile-vs-innocent ROC.
     Cached like :func:`evaluate`, keyed by every model's fingerprint.
     """
-    sc = _resolve_scenario(scenario)
+    sc = _resolve_scenario(scenario, pack)
     training = _training_reports(sc, train)
     chosen = list(predictors) if predictors is not None else list(
         DEFAULT_PREDICTORS
@@ -740,10 +793,20 @@ _FLEET_POLICY_KEYS = (
 
 
 def _resolve_fleet(fleet: FleetLike, count: int, seed: Optional[int],
-                   small: bool, policy: dict) -> FleetConfig:
+                   small: bool, pack: Optional[str], vantage: str,
+                   policy: dict) -> FleetConfig:
     if fleet is None:
         base_seed = seed if seed is not None else ScenarioConfig().seed
-        return heterogeneous_fleet(count, seed=base_seed, small=small, **policy)
+        return heterogeneous_fleet(
+            count, seed=base_seed, small=small, pack=pack, vantage=vantage,
+            **policy,
+        )
+    if pack is not None or vantage != "global":
+        raise ValueError(
+            "pack/vantage only apply when run_fleet builds the default "
+            "heterogeneous fleet (fleet=None); shape explicit shards with "
+            "heterogeneous_fleet(pack=..., vantage=...) instead"
+        )
     if isinstance(fleet, FleetConfig):
         return replace(fleet, **policy) if policy else fleet
     if isinstance(fleet, FleetResult):
@@ -757,6 +820,8 @@ def run_fleet(
     count: int = 3,
     seed: Optional[int] = None,
     small: bool = False,
+    pack: Optional[str] = None,
+    vantage: str = "global",
     runner=None,
     checkpoint: bool = True,
     **policy,
@@ -771,6 +836,11 @@ def run_fleet(
     ``backoff``, ``quorum``, ``max_staleness_days``, ``workers``, ...)
     pass through to :class:`FleetConfig`.
 
+    ``pack`` runs the default fleet over a scenario-pack world, and
+    ``vantage="as"`` pins each member to one autonomous system of that
+    world (see :func:`~repro.fleet.heterogeneous_fleet`); both apply
+    only when ``fleet`` is ``None``.
+
     Completed shards checkpoint through the artifact store, so a re-run
     after a crash resumes instantly; shards that exhaust their retries
     are quarantined and the result's clearinghouse degrades gracefully
@@ -779,7 +849,7 @@ def run_fleet(
     unknown = set(policy) - set(_FLEET_POLICY_KEYS)
     if unknown:
         raise TypeError(f"unknown fleet policy keywords: {sorted(unknown)}")
-    config = _resolve_fleet(fleet, count, seed, small, policy)
+    config = _resolve_fleet(fleet, count, seed, small, pack, vantage, policy)
     with obs_trace.span("api.run_fleet", shards=len(config.shards)):
         supervisor = FleetSupervisor(
             config, runner=runner, checkpoint=checkpoint

@@ -14,9 +14,13 @@ Usage::
     uncleanliness cache [info|clear|doctor] [--purge-quarantine]
     uncleanliness trace [latest|<run-dir>|<fingerprint-prefix>]
     uncleanliness fleet [--shards N] [--small] [--workers W]
+    uncleanliness packs
+    uncleanliness table2 --pack attack-wave --small
 
 The ``--small`` flag runs the ~100x reduced scenario (seconds instead of
 a minute); shapes are preserved but the counts are proportionally lower.
+``--pack`` runs any scenario verb (and the fleet) inside a named
+scenario-pack world — ``uncleanliness packs`` lists them.
 
 Scenario artifacts are cached by the staged engine (``~/.cache/repro``
 or ``$REPRO_CACHE_DIR``), so a warm rerun of any table/figure skips the
@@ -83,7 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=sorted(_SCENARIO_EXPERIMENTS)
         + ["figure1", "ablation", "all", "compare", "score", "validate",
-           "profile", "cache", "trace", "ingest", "serve", "fleet"],
+           "profile", "cache", "trace", "ingest", "serve", "fleet", "packs"],
         help="which experiment to regenerate; 'compare' runs rival "
         "blocklist predictors head-to-head (Table 3 + ROC-AUC per model "
         "over one shared Monte-Carlo null), 'score' scores user-provided "
@@ -95,7 +99,8 @@ def build_parser() -> argparse.ArgumentParser:
         "service (checkpointed, resumable), 'serve' answers score/blocked "
         "queries from the streaming index over stdin, 'fleet' runs the "
         "sharded multi-network fleet and prints the clearinghouse view "
-        "next to each member network's local view",
+        "next to each member network's local view, 'packs' lists the "
+        "registered scenario packs",
     )
     parser.add_argument(
         "action",
@@ -168,6 +173,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=3,
         help="(fleet) number of heterogeneous member networks",
+    )
+    parser.add_argument(
+        "--pack",
+        metavar="NAME",
+        default=None,
+        help="run inside a named scenario-pack world (see 'uncleanliness "
+        "packs'); applies to every scenario verb and the fleet",
+    )
+    parser.add_argument(
+        "--vantage",
+        choices=("global", "as"),
+        default="global",
+        help="(fleet) 'as' pins each member network to one autonomous "
+        "system of an AS-structured pack world",
     )
     parser.add_argument(
         "--predictors",
@@ -542,7 +561,8 @@ def _fleet_config(args: argparse.Namespace):
 
     seed = args.seed if args.seed is not None else ScenarioConfig().seed
     return heterogeneous_fleet(
-        args.shards, seed=seed, small=args.small, workers=args.workers
+        args.shards, seed=seed, small=args.small, workers=args.workers,
+        pack=args.pack, vantage=args.vantage,
     )
 
 
@@ -651,7 +671,27 @@ def _scenario_config(args: argparse.Namespace) -> ScenarioConfig:
         from dataclasses import replace
 
         config = replace(config, seed=args.seed)
+    if args.pack is not None:
+        from repro.scenarios import get_pack
+
+        config = get_pack(args.pack).build(config)
     return config
+
+
+def _run_packs(args: argparse.Namespace) -> int:
+    """List the registered scenario packs."""
+    from repro.experiments.common import render_table
+    from repro.scenarios import list_packs
+
+    print("Scenario packs (run any verb with --pack NAME):")
+    print()
+    print(render_table([
+        {"pack": pack.name, "description": pack.description}
+        for pack in list_packs()
+    ]))
+    print()
+    print("example: uncleanliness table2 --pack attack-wave --small")
+    return 0
 
 
 def _run_one(name: str, scenario, args: argparse.Namespace) -> str:
@@ -779,6 +819,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_cache(args)
     if args.experiment == "trace":
         return _run_trace(args)
+    if args.experiment == "packs":
+        return _run_packs(args)
+
+    if args.pack is not None:
+        from repro.scenarios import get_pack
+
+        try:
+            get_pack(args.pack)
+        except KeyError as err:
+            print(err.args[0], file=sys.stderr)
+            return 2
 
     obs_metrics.reset()
     tracer = obs_trace.tracer()

@@ -35,6 +35,7 @@ from repro.detect.botlog import BotLogConfig
 from repro.detect.phishlist import PhishListConfig
 from repro.detect.scan import ScanDetectorConfig
 from repro.detect.spam import SpamDetectorConfig
+from repro.engine.fingerprint import addendum_field
 from repro.engine.fingerprint import fingerprint as _fingerprint
 from repro.flows.generator import BorderTraffic, TrafficConfig
 from repro.sim.botnet import BotnetConfig, BotnetSimulation
@@ -76,11 +77,47 @@ class ScenarioConfig:
     #: Optional cap on R_phish-test (paper: 1386); None keeps all.
     phish_test_size: Optional[int] = None
 
+    #: Sinkhole-takedown feed dynamics (fingerprint addenda, omitted at
+    #: default).  From ``bot_feed_dark_from_day`` the provided bot feed
+    #: loses live visibility (its infiltrated channels were seized); if
+    #: ``bot_feed_stale_days`` > 0 the feed then floods the addresses it
+    #: sighted over the preceding that-many days — long-cleaned machines
+    #: republished as if current.  -1 / 0 keep the paper's feed.
+    bot_feed_dark_from_day: int = addendum_field(default=-1)
+    bot_feed_stale_days: int = addendum_field(default=0)
+
     def validate(self) -> None:
+        # Surface bad sub-config values here, with their own clear
+        # ValueErrors, instead of as numpy broadcast errors deep in
+        # generation.
+        for sub in (
+            self.internet,
+            self.botnet,
+            self.phishing,
+            self.traffic,
+            self.monitor,
+            self.phishlist,
+            self.scan_detector,
+            self.spam_detector,
+        ):
+            sub_validate = getattr(sub, "validate", None)
+            if sub_validate is not None:
+                sub_validate()
         if self.control_size <= 0:
             raise ValueError("control_size must be positive")
         if self.bot_test_size <= 0:
             raise ValueError("bot_test_size must be positive")
+        if self.bot_feed_stale_days < 0:
+            raise ValueError("bot_feed_stale_days must be non-negative")
+        if self.bot_feed_stale_days > 0 and self.bot_feed_dark_from_day < 1:
+            raise ValueError(
+                "a stale flood needs bot_feed_dark_from_day >= 1 (the feed "
+                "replays the days before it went dark)"
+            )
+        if self.bot_feed_dark_from_day >= self.botnet.horizon_days:
+            raise ValueError(
+                "bot_feed_dark_from_day is past the botnet horizon"
+            )
         channels = set(self.bot_report_channels) | {self.bot_test_channel}
         if any(not 0 <= c < self.botnet.num_channels for c in channels):
             raise ValueError("channel index outside botnet.num_channels")
@@ -177,6 +214,12 @@ class PaperScenario:
     @property
     def internet(self) -> SyntheticInternet:
         return self._engine.resolve(self.config, "internet")
+
+    @property
+    def asys(self):
+        """The AS topology announcing the occupied space
+        (:class:`repro.sim.asys.ASTopology`; flat in the default world)."""
+        return self._engine.resolve(self.config, "asys")
 
     @property
     def botnet(self) -> BotnetSimulation:

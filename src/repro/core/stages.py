@@ -7,12 +7,20 @@ independently-cacheable stages:
 stage      value                          persistence
 ========== ============================== =====================
 internet   :class:`SyntheticInternet`     memory only
+asys       :class:`ASTopology` (view)     memory only
 botnet     :class:`BotnetSimulation`      memory only
 phishing   :class:`PhishingSimulation`    memory only
 traffic    :class:`BorderTraffic`         memory only
 reports    ``{tag: Report}`` (Table 1/2)  memory + disk (npz)
 partition  :class:`CandidatePartition`    memory + disk (npz)
 ========== ============================== =====================
+
+``asys`` is a *derived view* of the internet stage (the topology is
+drawn inside :meth:`SyntheticInternet._generate` so that direct
+construction and the staged path realise identical worlds); it exists as
+a stage so fleet shards and the cluster statistics can resolve the AS
+layer through the same cache, and it never builds on warm runs because
+nothing on the warm path depends on it.
 
 Each stage draws from its own dedicated RNG stream — stream *i* of
 ``SeedSequence(config.seed).spawn(8)``, exactly the streams the eager
@@ -50,7 +58,7 @@ from repro.flows.generator import BorderTraffic, TrafficGenerator
 from repro.sim.botnet import BotnetSimulation
 from repro.sim.internet import SyntheticInternet
 from repro.sim.phishing import PhishingSimulation
-from repro.sim.timeline import PAPER_WINDOWS
+from repro.sim.timeline import PAPER_WINDOWS, Window
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.core.scenario import ScenarioConfig
@@ -71,6 +79,12 @@ def _rng(config: "ScenarioConfig", stream: int) -> np.random.Generator:
 
 def _build_internet(ctx: StageContext) -> SyntheticInternet:
     return SyntheticInternet(ctx.config.internet, _rng(ctx.config, 0))
+
+
+def _build_asys(ctx: StageContext):
+    # A derived view, not an independent draw: the topology is realised
+    # inside the internet stage so both access paths agree bit-for-bit.
+    return ctx.dep("internet").topology
 
 
 def _build_botnet(ctx: StageContext) -> BotnetSimulation:
@@ -129,15 +143,38 @@ def _observed_reports(cfg, traffic, reports) -> None:
     reports["spam"] = folds.observed_report("spam", spammers, window)
 
 
+def _bot_feed_addresses(cfg, botnet, monitor, rng) -> np.ndarray:
+    """The provided October bot feed, honouring sinkhole-takedown
+    dynamics: past ``bot_feed_dark_from_day`` the feed has no live
+    visibility (its channels were seized) and, when configured, floods
+    the stale addresses it sighted in the days before the takedown."""
+    window = PAPER_WINDOWS.OCTOBER
+    dark = cfg.bot_feed_dark_from_day
+    if dark < 0 or dark > window.end_day:
+        return monitor.observe(
+            botnet, window, rng, channels=cfg.bot_report_channels
+        )
+    parts = []
+    live_end = min(window.end_day, dark - 1)
+    if live_end >= window.start_day:
+        parts.append(monitor.observe(
+            botnet, Window(window.start_day, live_end), rng,
+            channels=cfg.bot_report_channels,
+        ))
+    if cfg.bot_feed_stale_days > 0:
+        stale = Window(max(0, dark - cfg.bot_feed_stale_days), dark - 1)
+        parts.append(monitor.observe(
+            botnet, stale, rng, channels=cfg.bot_report_channels
+        ))
+    if not parts:
+        return np.asarray([], dtype=np.uint32)
+    return np.unique(np.concatenate(parts))
+
+
 def _provided_reports(cfg, botnet, phishing, rng, reports) -> None:
     """The third-party feeds: October bots, six-month phishing."""
     monitor = BotLogMonitor(cfg.monitor)
-    bots = monitor.observe(
-        botnet,
-        PAPER_WINDOWS.OCTOBER,
-        rng,
-        channels=cfg.bot_report_channels,
-    )
+    bots = _bot_feed_addresses(cfg, botnet, monitor, rng)
     reports["bot"] = Report(
         tag="bot",
         addresses=bots,
@@ -223,6 +260,7 @@ def _union_report(reports: Dict[str, Report]) -> Report:
 
 SCENARIO_STAGES = (
     Stage("internet", _build_internet),
+    Stage("asys", _build_asys, deps=("internet",)),
     Stage("botnet", _build_botnet, deps=("internet",)),
     Stage("phishing", _build_phishing, deps=("internet",)),
     Stage("traffic", _build_traffic, deps=("internet", "botnet")),

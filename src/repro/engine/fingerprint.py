@@ -11,7 +11,13 @@ fingerprint is the SHA-256 of a canonical JSON rendering of the object:
   spelled out or left implicit (both render the same value);
 * containers, numpy scalars/arrays, dates and plain scalars are reduced
   to portable JSON forms, so fingerprints are stable across Python and
-  numpy versions and across processes.
+  numpy versions and across processes;
+* fields declared with :func:`addendum_field` are **omitted** from the
+  canonical form while they hold their default value, so a config class
+  can grow new opt-in knobs without invalidating every fingerprint (and
+  therefore every cached artifact) minted before the knob existed.  A
+  non-default value still changes the fingerprint, exactly as any other
+  field would.
 """
 
 from __future__ import annotations
@@ -24,10 +30,43 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["canonicalize", "fingerprint"]
+__all__ = ["FP_OMIT_DEFAULT", "addendum_field", "canonicalize", "fingerprint"]
 
 #: Bump when the canonical form changes so stale disk entries miss.
 FINGERPRINT_VERSION = 1
+
+#: Field-metadata key marking a dataclass field as fingerprint-omitted
+#: while it equals its declared default.
+FP_OMIT_DEFAULT = "fingerprint_omit_default"
+
+
+def addendum_field(*, default=dataclasses.MISSING,
+                   default_factory=dataclasses.MISSING, **kwargs):
+    """A dataclass field added *after* fingerprints of the class were
+    pinned: omitted from the canonical form while at its default.
+
+    Use for every new knob on an already-shipped config class whose
+    default means "behave exactly as before" — old cache keys stay
+    valid, and only configs that actually opt in re-fingerprint.
+    """
+    metadata = dict(kwargs.pop("metadata", None) or {})
+    metadata[FP_OMIT_DEFAULT] = True
+    if default is not dataclasses.MISSING:
+        return dataclasses.field(default=default, metadata=metadata, **kwargs)
+    if default_factory is not dataclasses.MISSING:
+        return dataclasses.field(
+            default_factory=default_factory, metadata=metadata, **kwargs
+        )
+    raise TypeError("addendum_field requires a default: an addendum with "
+                    "no default could never be omitted")
+
+
+def _field_default(f: "dataclasses.Field") -> Any:
+    if f.default is not dataclasses.MISSING:
+        return f.default
+    if f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+        return f.default_factory()  # type: ignore[misc]
+    return dataclasses.MISSING
 
 
 def canonicalize(obj: Any) -> Any:
@@ -39,12 +78,16 @@ def canonicalize(obj: Any) -> Any:
     """
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         fields = sorted(dataclasses.fields(obj), key=lambda f: f.name)
-        return {
-            "__dataclass__": type(obj).__name__,
-            "fields": {
-                f.name: canonicalize(getattr(obj, f.name)) for f in fields
-            },
-        }
+        rendered = {}
+        for f in fields:
+            value = canonicalize(getattr(obj, f.name))
+            if f.metadata.get(FP_OMIT_DEFAULT):
+                default = _field_default(f)
+                if (default is not dataclasses.MISSING
+                        and value == canonicalize(default)):
+                    continue
+            rendered[f.name] = value
+        return {"__dataclass__": type(obj).__name__, "fields": rendered}
     if obj is None or isinstance(obj, (bool, str)):
         return obj
     if isinstance(obj, (int, np.integer)):

@@ -50,10 +50,20 @@ _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 @dataclass(frozen=True)
 class NetworkShard:
-    """One member network: a name and the scenario that simulates it."""
+    """One member network: a name and the scenario that simulates it.
+
+    ``vantage_as`` restricts the shard's *observed* feeds (scan, spam,
+    control) to the address space announced by one autonomous system of
+    the shard's AS-structured Internet — a fleet member that borders a
+    single operator rather than the whole world.  Provided feeds (bot,
+    phish, bot-test) stay global: third parties publish them regardless
+    of where the member sits.  ``None`` (the default) keeps the classic
+    whole-Internet vantage.
+    """
 
     name: str
     config: ScenarioConfig
+    vantage_as: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not _NAME_RE.match(self.name):
@@ -61,9 +71,29 @@ class NetworkShard:
                 f"bad shard name {self.name!r}: must be alphanumeric with "
                 "'.', '_' or '-' (it becomes a store-key component)"
             )
+        if self.vantage_as is not None:
+            if self.vantage_as < 0:
+                raise ValueError(
+                    f"vantage_as must be >= 0: {self.vantage_as}"
+                )
+            if self.config.internet.asys is None:
+                raise ValueError(
+                    "vantage_as requires an AS-structured Internet: set "
+                    "InternetConfig.asys (e.g. via an AS-aware scenario "
+                    "pack)"
+                )
+            if self.vantage_as >= self.config.internet.asys.num_as:
+                raise ValueError(
+                    f"vantage_as {self.vantage_as} outside "
+                    f"0..{self.config.internet.asys.num_as - 1}"
+                )
 
     def fingerprint(self) -> str:
         """Identity of this shard's configuration (not its name)."""
+        if self.vantage_as is not None:
+            return fingerprint(
+                {"config": self.config, "vantage_as": self.vantage_as}
+            )
         return fingerprint(self.config)
 
 
@@ -119,11 +149,18 @@ class FleetConfig:
         Execution policy (deadline, retries, workers, backoff) is
         deliberately excluded: results are bit-identical regardless of
         how the shards were scheduled, so policy must not change the
-        checkpoint namespace.
+        checkpoint namespace.  A shard's vantage AS joins its tuple only
+        when set, so whole-Internet fleets keep their historical
+        fingerprints.
         """
         return fingerprint(
             {
-                "shards": [(shard.name, shard.config) for shard in self.shards],
+                "shards": [
+                    (shard.name, shard.config)
+                    if shard.vantage_as is None
+                    else (shard.name, shard.config, shard.vantage_as)
+                    for shard in self.shards
+                ],
                 "feed_tags": list(self.feed_tags),
                 "prefix_len": self.prefix_len,
             }
@@ -147,6 +184,8 @@ def heterogeneous_fleet(
     count: int = 3,
     seed: int = 20_061_001,
     small: bool = True,
+    pack: Optional[str] = None,
+    vantage: str = "global",
     **policy,
 ) -> FleetConfig:
     """A fleet of ``count`` dissimilar vantage points on one Internet.
@@ -160,10 +199,29 @@ def heterogeneous_fleet(
     cross-network question real: does network A's old uncleanliness
     predict network B's current botnet space?  ``policy`` keyword
     arguments pass through to :class:`FleetConfig`.
+
+    ``pack`` names a scenario pack whose transform shapes every member's
+    shared world (applied to the base config before per-member
+    profiling).  ``vantage="as"`` additionally pins each member to one
+    autonomous system of that world — member *i* borders AS ``i mod
+    num_as`` and its observed feeds (scan, spam, control) cover only
+    that operator's announced space — which requires an AS-structured
+    config (``pack`` setting ``internet.asys``, e.g. ``attack-wave``).
     """
     if count < 1:
         raise ValueError(f"count must be >= 1: {count}")
+    if vantage not in ("global", "as"):
+        raise ValueError(f"vantage must be 'global' or 'as': {vantage!r}")
     base = ScenarioConfig.small(seed=seed) if small else ScenarioConfig(seed=seed)
+    if pack is not None:
+        from repro.scenarios import get_pack
+
+        base = get_pack(pack).build(base)
+    if vantage == "as" and base.internet.asys is None:
+        raise ValueError(
+            "vantage='as' needs an AS-structured world: pass a pack that "
+            "sets InternetConfig.asys (e.g. 'attack-wave')"
+        )
     channel_count = base.botnet.num_channels
     shards = []
     for index in range(count):
@@ -195,5 +253,10 @@ def heterogeneous_fleet(
             ),
             control_size=max(1_000, int(base.control_size * scale)),
         )
-        shards.append(NetworkShard(name=_shard_name(index), config=config))
+        vantage_as = (
+            index % base.internet.asys.num_as if vantage == "as" else None
+        )
+        shards.append(NetworkShard(
+            name=_shard_name(index), config=config, vantage_as=vantage_as
+        ))
     return FleetConfig(shards=tuple(shards), **policy)

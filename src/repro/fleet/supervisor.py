@@ -119,11 +119,43 @@ def reports_as_of(reports: Mapping[str, Report]) -> int:
 def scenario_reports(
     shard: NetworkShard, feed_tags: Tuple[str, ...]
 ) -> Dict[str, Report]:
-    """The production runner: simulate the shard's network end to end."""
+    """The production runner: simulate the shard's network end to end.
+
+    A shard pinned to a vantage AS sees only that operator's announced
+    space in its *observed* feeds — the detectors at its border cannot
+    witness traffic that never crosses it — while provided feeds arrive
+    from third parties and stay global.
+    """
     from repro.core.scenario import PaperScenario
 
     scenario = PaperScenario._create(shard.config)
-    return {tag: scenario.report(tag) for tag in feed_tags}
+    reports = {tag: scenario.report(tag) for tag in feed_tags}
+    if shard.vantage_as is not None:
+        internet = scenario.internet
+        vantage16 = internet.slash16[
+            internet.topology.as_of_net16 == shard.vantage_as
+        ]
+        reports = {
+            tag: _restrict_to_vantage(report, vantage16)
+            for tag, report in reports.items()
+        }
+    return reports
+
+
+def _restrict_to_vantage(report: Report, vantage16: np.ndarray) -> Report:
+    """Drop an observed report's addresses outside the vantage /16s."""
+    if report.report_type is not ReportType.OBSERVED:
+        return report
+    keep = np.isin(report.addresses & np.uint32(0xFFFF0000), vantage16)
+    if bool(keep.all()):
+        return report
+    return Report(
+        tag=report.tag,
+        addresses=report.addresses[keep],
+        report_type=report.report_type,
+        data_class=report.data_class,
+        period=report.period,
+    )
 
 
 def synthetic_reports(

@@ -48,6 +48,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.engine.fingerprint import addendum_field
 from repro.flows.kernels import sample_day_segments
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -140,6 +141,14 @@ class TrafficConfig:
     cnc_days_mean: float = 6.0
     cnc_contacts_per_day: float = 4.0
 
+    #: Diurnal modulation (Chen et al.'s spatiotemporal attack cycles):
+    #: intra-day flow times concentrate around ``diurnal_peak_hour``
+    #: with density proportional to ``1 + amplitude * cos(...)``.  0.0
+    #: keeps the paper's uniform intra-day times.  Both fields are
+    #: fingerprint addenda (omitted at default).
+    diurnal_amplitude: float = addendum_field(default=0.0)
+    diurnal_peak_hour: float = addendum_field(default=14.0)
+
     def validate(self) -> None:
         if self.num_servers <= 0:
             raise ValueError("num_servers must be positive")
@@ -158,6 +167,10 @@ class TrafficConfig:
             value = getattr(self, name)
             if not 0 <= value <= 1:
                 raise ValueError(f"{name} must be in [0, 1]")
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if not 0 <= self.diurnal_peak_hour < 24:
+            raise ValueError("diurnal_peak_hour must be in [0, 24)")
 
 
 @dataclass
@@ -252,6 +265,41 @@ class TrafficGenerator:
         block = self.internet.observed_network
         span = block.num_addresses
         return block.first_address + rng.integers(0, span, size=count, dtype=np.uint32)
+
+    # -- diurnal timing ----------------------------------------------------
+
+    def _intra_day(self, total: int, rng: np.random.Generator) -> np.ndarray:
+        """Second-of-day offsets for ``total`` flows.
+
+        With ``diurnal_amplitude`` 0 this is exactly the historical
+        ``rng.random(total) * DAY_SECONDS`` draw (bit-identity of the
+        default world); otherwise the same uniform draw is warped by a
+        monotone map whose image density is proportional to
+        ``1 / (1 - a*cos(omega*(t - peak)))`` — flows bunch around the
+        configured peak hour without consuming any extra randomness.
+        """
+        cfg = self.config
+        offsets = rng.random(total) * DAY_SECONDS
+        if cfg.diurnal_amplitude > 0:
+            omega = 2.0 * np.pi / DAY_SECONDS
+            peak = cfg.diurnal_peak_hour * 3600.0
+            offsets = (
+                offsets
+                - (cfg.diurnal_amplitude / omega)
+                * np.sin(omega * (offsets - peak))
+            ) % DAY_SECONDS
+        return offsets
+
+    def _scan_hours(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Sweep start hours; diurnally weighted when modulation is on."""
+        cfg = self.config
+        if cfg.diurnal_amplitude <= 0:
+            return rng.integers(0, 23, size=count)
+        hours = np.arange(24, dtype=np.float64) + 0.5
+        weights = 1.0 + cfg.diurnal_amplitude * np.cos(
+            2.0 * np.pi * (hours - cfg.diurnal_peak_hour) / 24.0
+        )
+        return rng.choice(24, size=count, p=weights / weights.sum())
 
     # -- generation --------------------------------------------------------
 
@@ -387,7 +435,7 @@ class TrafficGenerator:
             src = np.repeat(clients, flows_per_client)
             packets = rng.integers(8, 60, size=total, dtype=np.uint32)
             payload = rng.integers(200, 20_000, size=total, dtype=np.uint64)
-            start = day * DAY_SECONDS + rng.random(total) * DAY_SECONDS
+            start = day * DAY_SECONDS + self._intra_day(total, rng)
             chunks.extend(
                 src_addr=src,
                 dst_addr=rng.choice(servers, size=total),
@@ -428,7 +476,7 @@ class TrafficGenerator:
         )
         total = int(targets_per_day.sum())
         hour_starts = (
-            days * DAY_SECONDS + rng.integers(0, 23, size=days.size) * 3600
+            days * DAY_SECONDS + self._scan_hours(days.size, rng) * 3600
         ).astype(np.float64)
         start = np.repeat(hour_starts, targets_per_day) + rng.random(total) * 3000
         chunks.extend(
@@ -477,7 +525,7 @@ class TrafficGenerator:
         total = int(per_day.sum())
         start = (
             np.repeat(days * DAY_SECONDS, per_day).astype(np.float64)
-            + rng.random(total) * DAY_SECONDS
+            + self._intra_day(total, rng)
         )
         if ephemeral_ports:
             dst_port = rng.integers(_EPHEMERAL_LOW, 65536, size=total, dtype=np.uint16)
@@ -564,7 +612,7 @@ class TrafficGenerator:
         payload = rng.integers(400, 4000, size=total, dtype=np.uint64)
         start = (
             np.repeat(days * DAY_SECONDS, per_day).astype(np.float64)
-            + rng.random(total) * DAY_SECONDS
+            + self._intra_day(total, rng)
         )
         chunks.extend(
             src_addr=np.repeat(sources, per_day),
@@ -634,7 +682,7 @@ class TrafficGenerator:
         payload = rng.integers(80, 900, size=total, dtype=np.uint64)
         start = (
             np.repeat(days * DAY_SECONDS, per_day).astype(np.float64)
-            + rng.random(total) * DAY_SECONDS
+            + self._intra_day(total, rng)
         )
         chunks.extend(
             src_addr=np.repeat(sources, per_day),

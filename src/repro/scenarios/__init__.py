@@ -1,0 +1,35 @@
+"""The scenario-pack library.
+
+A :class:`ScenarioPack` is a named, pure transformation of a
+:class:`~repro.core.scenario.ScenarioConfig`: packs compose adversarial
+worlds — attack waves, DHCP churn, prefix reassignment, slow-scanner
+floods, sinkhole takedowns — purely by setting config fields, so every
+pack flows through the staged artifact engine and inherits
+content-addressed caching, fault injection, manifests and observability
+for free.
+
+::
+
+    from repro.api import run_pack, evaluate
+
+    run = run_pack("attack-wave", small=True)
+    result = evaluate(run, metric="prediction")
+"""
+
+from repro.scenarios.packs import (
+    BUILTIN_PACK_NAMES,
+    ScenarioPack,
+    get_pack,
+    list_packs,
+    pack_names,
+    register_pack,
+)
+
+__all__ = [
+    "BUILTIN_PACK_NAMES",
+    "ScenarioPack",
+    "get_pack",
+    "list_packs",
+    "pack_names",
+    "register_pack",
+]

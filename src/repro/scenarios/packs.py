@@ -1,0 +1,235 @@
+"""Registry and built-in definitions of the scenario packs.
+
+Each pack is a *pure function* from a base :class:`ScenarioConfig` to a
+variant: no RNGs, no IO, no hidden state.  Because a pack's output is
+just a config, its fingerprint keys the artifact store exactly like any
+hand-built config — warm reruns of a pack skip simulation, chaos CI
+exercises it unchanged, and two packs sharing a base differ only where
+their fields differ.
+
+The ``paper-default`` pack is the identity: its config fingerprints
+identically to the plain default, which is what makes "run everything
+through a pack" safe — the default world is never rebuilt or re-keyed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.core.scenario import ScenarioConfig
+from repro.sim.asys import ASConfig
+from repro.sim.timeline import PAPER_WINDOWS
+
+__all__ = [
+    "BUILTIN_PACK_NAMES",
+    "ScenarioPack",
+    "get_pack",
+    "list_packs",
+    "pack_names",
+    "register_pack",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioPack:
+    """A named, pure ``ScenarioConfig -> ScenarioConfig`` transform."""
+
+    name: str
+    description: str
+    transform: Callable[[ScenarioConfig], ScenarioConfig]
+
+    def build(
+        self,
+        base: Optional[ScenarioConfig] = None,
+        *,
+        small: bool = False,
+        seed: Optional[int] = None,
+    ) -> ScenarioConfig:
+        """The pack's config over ``base`` (default: the paper config).
+
+        ``small=True`` starts from :meth:`ScenarioConfig.small`;
+        ``seed`` overrides the base seed.  The result is validated, so a
+        mis-parameterised pack fails here with a clear ``ValueError``
+        rather than deep inside generation.
+        """
+        if base is None:
+            base = ScenarioConfig.small() if small else ScenarioConfig()
+        elif small:
+            raise ValueError("pass either a base config or small=True, not both")
+        if seed is not None:
+            base = replace(base, seed=seed)
+        config = self.transform(base)
+        config.validate()
+        return config
+
+
+_PACKS: Dict[str, ScenarioPack] = {}
+
+
+def register_pack(pack: ScenarioPack) -> ScenarioPack:
+    """Add a pack to the registry (rejecting duplicate names)."""
+    if pack.name in _PACKS:
+        raise ValueError(f"pack {pack.name!r} is already registered")
+    _PACKS[pack.name] = pack
+    return pack
+
+
+def get_pack(name: str) -> ScenarioPack:
+    """Look up a registered pack by name."""
+    try:
+        return _PACKS[name]
+    except KeyError:
+        raise KeyError(
+            f"no scenario pack named {name!r}; have {pack_names()}"
+        ) from None
+
+
+def pack_names() -> List[str]:
+    """Registered pack names, sorted."""
+    return sorted(_PACKS)
+
+
+def list_packs() -> List[ScenarioPack]:
+    """Registered packs, sorted by name."""
+    return [_PACKS[name] for name in pack_names()]
+
+
+# -- built-in packs ----------------------------------------------------------
+
+
+def _scaled_asys(base: ScenarioConfig) -> ASConfig:
+    """An :class:`ASConfig` sized to the base world.
+
+    The default 120 ASes are calibrated against the paper-scale 950
+    /16s (~8 prefixes per operator, heavy-tailed).  Smaller worlds keep
+    that density — ``num_as`` scales with ``num_slash16`` — so a
+    ``small`` base still has multi-prefix operators instead of
+    degenerating to one AS per /16.
+    """
+    default = ASConfig()
+    scaled = round(base.internet.num_slash16 * default.num_as / 950)
+    return replace(default, num_as=max(2, min(default.num_as, scaled)))
+
+
+def _paper_default(base: ScenarioConfig) -> ScenarioConfig:
+    return base
+
+
+def _attack_wave(base: ScenarioConfig) -> ScenarioConfig:
+    """Correlated compromise bursts over an AS-structured Internet, with
+    diurnal traffic cycles (Chen et al.'s spatiotemporal attack
+    patterns): arrivals surge on a four-week wave and border flows bunch
+    around an afternoon peak."""
+    return replace(
+        base,
+        internet=replace(base.internet, asys=_scaled_asys(base)),
+        botnet=replace(
+            base.botnet,
+            wave_amplitude=0.9,
+            wave_period_days=28.0,
+            wave_phase_days=7.0,
+        ),
+        traffic=replace(
+            base.traffic, diurnal_amplitude=0.5, diurnal_peak_hour=14.0
+        ),
+    )
+
+
+def _dhcp_churn(base: ScenarioConfig) -> ScenarioConfig:
+    """NAT/DHCP churn: half the /16s are dynamic pools whose compromised
+    machines re-appear under a fresh address in the same /16 every
+    ~20-day lease — /24-granular predictions rot while /16 aggregates
+    survive."""
+    return replace(
+        base,
+        internet=replace(base.internet, dynamic_fraction=0.5),
+        botnet=replace(base.botnet, rebind_days=20.0),
+    )
+
+
+def _prefix_reassignment(base: ScenarioConfig) -> ScenarioConfig:
+    """A quarter of the /16s changes announcing AS mid-year (day 200,
+    between the May test reports and the October training feeds): the
+    moved prefixes take on their new operator's uncleanliness and
+    cleanup regime, so pre-move observations mislead."""
+    return replace(
+        base,
+        internet=replace(
+            base.internet,
+            asys=_scaled_asys(base),
+            reassignment_day=200,
+            reassignment_fraction=0.25,
+        ),
+    )
+
+
+def _slow_scanner_flood(base: ScenarioConfig) -> ScenarioConfig:
+    """The observed network is flooded by under-the-radar scanners: most
+    bots probe below the scan detector's hourly calibration and the
+    uncatalogued suspicious population quadruples, starving the observed
+    feeds while the unknown class balloons (§6.2 taken to its limit)."""
+    return replace(
+        base,
+        traffic=replace(
+            base.traffic,
+            slow_scanner_fraction=0.85,
+            scan_participation=0.05,
+            suspicious_hosts=base.traffic.suspicious_hosts * 4,
+        ),
+    )
+
+
+def _sinkhole_takedown(base: ScenarioConfig) -> ScenarioConfig:
+    """Two C&C channels are seized and sinkholed into the observed
+    network (member bots phone home across the border), and a week into
+    October the provided bot feed goes dark — then floods five months of
+    stale sightings, republishing long-cleaned machines as current."""
+    dark_from = PAPER_WINDOWS.OCTOBER.start_day + 7
+    return replace(
+        base,
+        traffic=replace(base.traffic, sinkholed_channels=(0, 1)),
+        bot_feed_dark_from_day=dark_from,
+        bot_feed_stale_days=150,
+    )
+
+
+register_pack(ScenarioPack(
+    name="paper-default",
+    description="The paper's flat world, untouched (identity transform; "
+                "fingerprints identically to the plain default config).",
+    transform=_paper_default,
+))
+register_pack(ScenarioPack(
+    name="attack-wave",
+    description="AS-structured Internet with four-week compromise waves "
+                "and diurnal traffic cycles.",
+    transform=_attack_wave,
+))
+register_pack(ScenarioPack(
+    name="dhcp-churn",
+    description="Half the /16s are DHCP/NAT pools; bots rebind to fresh "
+                "addresses every ~20 days.",
+    transform=_dhcp_churn,
+))
+register_pack(ScenarioPack(
+    name="prefix-reassignment",
+    description="25% of /16s change announcing AS on day 200, switching "
+                "uncleanliness and cleanup regime.",
+    transform=_prefix_reassignment,
+))
+register_pack(ScenarioPack(
+    name="slow-scanner-flood",
+    description="Scanners drop below the detector floor and the "
+                "uncatalogued suspicious population quadruples.",
+    transform=_slow_scanner_flood,
+))
+register_pack(ScenarioPack(
+    name="sinkhole-takedown",
+    description="Two C&C channels sinkholed into the vantage; the bot "
+                "feed goes dark mid-October then floods stale addresses.",
+    transform=_sinkhole_takedown,
+))
+
+#: The names every deployment ships with (CI's pack smoke iterates this).
+BUILTIN_PACK_NAMES = tuple(pack_names())

@@ -1,0 +1,283 @@
+"""The autonomous-system layer of the synthetic Internet.
+
+The paper's core claim is that uncleanliness clusters *spatially* because
+networks are operated by organizations (§1's institution A/B story, the
+/16-level aggregation of §4).  A flat prefix tree cannot represent who
+operates a prefix, so this module adds the missing level: a CAIDA-like
+population of autonomous systems, each announcing a heavy-tailed number
+of /16 prefixes, arranged in provider/customer tiers, and each carrying
+an operator posture — a base uncleanliness and a cleanup tempo — that
+every prefix it announces inherits.
+
+Topology shape follows the well-known AS-level measurements (cf. the
+CAIDA AS-relationship datasets used by the seed-emulator BGP examples):
+
+* a small clique of **transit** ASes at the top, a **mid** tier of
+  regional providers homed on the transit clique, and a long tail of
+  **stub** ASes homed on the mid tier;
+* per-AS announced-prefix counts are Pareto-tailed — a few hypergiants
+  announce many prefixes, most stubs announce one;
+* operator posture is *tier-correlated*: transit operators run clean,
+  professionally-staffed networks with fast cleanup; stubs are, on
+  average, dirtier and slower, with customers partially inheriting the
+  posture of their provider (shared tooling, shared abuse desk).
+
+The flat (paper-default) world is represented by :func:`flat_topology`,
+which is **RNG-free**: every occupied /16 becomes its own single-prefix
+stub AS with a neutral cleanup tempo, so the substrate refactor leaves
+the default world's random draws — and therefore its artifacts —
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "ASConfig",
+    "ASTopology",
+    "TIER_TRANSIT",
+    "TIER_MID",
+    "TIER_STUB",
+    "flat_topology",
+    "generate_topology",
+]
+
+#: Tier codes, ordered top-down.
+TIER_TRANSIT, TIER_MID, TIER_STUB = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class ASConfig:
+    """Generation parameters for the AS layer.
+
+    The defaults give roughly one AS per eight occupied /16s with a
+    5%/25%/70% transit/mid/stub split — small enough that within-AS
+    correlation is measurable at reproduction scale, heavy-tailed enough
+    that a handful of ASes dominate the announced space.
+    """
+
+    #: Number of autonomous systems announcing the occupied /16s.
+    num_as: int = 120
+
+    #: Fraction of ASes in the transit clique / mid tier (rest are stubs).
+    transit_fraction: float = 0.05
+    mid_fraction: float = 0.25
+
+    #: Pareto tail index of per-AS announced-prefix counts (smaller =
+    #: heavier tail; 1.2 reproduces the hypergiant skew).
+    prefix_tail: float = 1.2
+
+    #: Mean base uncleanliness per tier (transit, mid, stub).
+    tier_uncleanliness: Tuple[float, float, float] = (0.03, 0.09, 0.20)
+
+    #: Lognormal sigma of per-AS deviation around its tier mean.
+    uncleanliness_spread: float = 0.55
+
+    #: How strongly a customer's posture regresses toward its provider's
+    #: (0 = independent, 1 = the provider's posture verbatim).
+    provider_mix: float = 0.35
+
+    #: Mean cleanup lag in days per tier (transit, mid, stub): how long a
+    #: compromise survives before the operator remediates, relative to
+    #: :attr:`reference_cleanup_days`.
+    tier_cleanup_days: Tuple[float, float, float] = (4.0, 12.0, 30.0)
+
+    #: Lognormal sigma of per-AS cleanup-lag deviation within a tier.
+    cleanup_spread: float = 0.4
+
+    #: Cleanup lag that maps to a duration factor of exactly 1.0; the
+    #: flat world implicitly runs every network at this tempo.
+    reference_cleanup_days: float = 15.0
+
+    #: Beta concentration of per-/16 base uncleanliness around its AS
+    #: mean (higher = tighter within-AS clustering).
+    concentration: float = 12.0
+
+    def validate(self) -> None:
+        if self.num_as <= 0:
+            raise ValueError("num_as must be positive")
+        if not 0 <= self.transit_fraction <= 1:
+            raise ValueError("transit_fraction must be in [0, 1]")
+        if not 0 <= self.mid_fraction <= 1:
+            raise ValueError("mid_fraction must be in [0, 1]")
+        if self.transit_fraction + self.mid_fraction > 1:
+            raise ValueError(
+                "transit_fraction + mid_fraction must not exceed 1"
+            )
+        if self.prefix_tail <= 0:
+            raise ValueError("prefix_tail must be positive")
+        if len(self.tier_uncleanliness) != 3:
+            raise ValueError("tier_uncleanliness needs one mean per tier")
+        if any(not 0 < u < 1 for u in self.tier_uncleanliness):
+            raise ValueError("tier_uncleanliness means must be in (0, 1)")
+        if self.uncleanliness_spread < 0:
+            raise ValueError("uncleanliness_spread must be non-negative")
+        if not 0 <= self.provider_mix <= 1:
+            raise ValueError("provider_mix must be in [0, 1]")
+        if len(self.tier_cleanup_days) != 3:
+            raise ValueError("tier_cleanup_days needs one mean per tier")
+        if any(d <= 0 for d in self.tier_cleanup_days):
+            raise ValueError("tier_cleanup_days must be positive")
+        if self.cleanup_spread < 0:
+            raise ValueError("cleanup_spread must be non-negative")
+        if self.reference_cleanup_days <= 0:
+            raise ValueError("reference_cleanup_days must be positive")
+        if self.concentration <= 0:
+            raise ValueError("concentration must be positive")
+
+
+@dataclass(frozen=True)
+class ASTopology:
+    """The realised AS layer (columnar over ASes and occupied /16s)."""
+
+    #: Per-AS tier code (TIER_TRANSIT / TIER_MID / TIER_STUB).
+    tier: np.ndarray
+
+    #: Per-AS provider index; -1 for the transit clique.
+    provider: np.ndarray
+
+    #: Per-AS mean base uncleanliness of announced prefixes.
+    base_uncleanliness: np.ndarray
+
+    #: Per-AS mean compromise-cleanup lag in days.
+    cleanup_days: np.ndarray
+
+    #: Announcing AS of each occupied /16 (index into the per-AS arrays).
+    as_of_net16: np.ndarray
+
+    #: Whether this is the degenerate flat world (one stub per /16).
+    flat: bool
+
+    def __post_init__(self) -> None:
+        for arr in (self.tier, self.provider, self.base_uncleanliness,
+                    self.cleanup_days, self.as_of_net16):
+            arr.setflags(write=False)
+
+    @property
+    def num_as(self) -> int:
+        return int(self.tier.size)
+
+    @property
+    def num_prefixes(self) -> int:
+        return int(self.as_of_net16.size)
+
+    def prefixes_of(self, as_index: int) -> np.ndarray:
+        """Occupied-/16 indices announced by one AS."""
+        return np.nonzero(self.as_of_net16 == as_index)[0]
+
+    def duration_factor(self, reference_days: float) -> np.ndarray:
+        """Per-AS compromise-duration multiplier relative to a reference
+        tempo: an AS with twice the reference cleanup lag keeps its bots
+        alive twice as long."""
+        return self.cleanup_days / reference_days
+
+    def __repr__(self) -> str:
+        return (
+            f"ASTopology(ases={self.num_as}, prefixes={self.num_prefixes}, "
+            f"flat={self.flat})"
+        )
+
+
+def flat_topology(num_slash16: int) -> ASTopology:
+    """The degenerate topology of the paper-default flat world.
+
+    RNG-free by construction: every occupied /16 is its own stub AS with
+    a neutral cleanup tempo, so building it consumes no random draws and
+    the flat world's artifacts stay bit-identical to the pre-AS substrate.
+    """
+    if num_slash16 <= 0:
+        raise ValueError("num_slash16 must be positive")
+    n = int(num_slash16)
+    return ASTopology(
+        tier=np.full(n, TIER_STUB, dtype=np.int8),
+        provider=np.full(n, -1, dtype=np.int64),
+        base_uncleanliness=np.zeros(n, dtype=np.float64),
+        cleanup_days=np.full(n, np.nan, dtype=np.float64),
+        as_of_net16=np.arange(n, dtype=np.int64),
+        flat=True,
+    )
+
+
+def generate_topology(
+    config: ASConfig, num_slash16: int, rng: np.random.Generator
+) -> ASTopology:
+    """Draw a CAIDA-like AS topology announcing ``num_slash16`` prefixes.
+
+    Draw order (fixed; the substrate's bit-identity contract covers only
+    the flat world, but a stable order keeps AS worlds reproducible):
+    tier thresholds need no draws; then provider homing, per-AS posture,
+    per-AS cleanup lag, per-AS prefix weights, and finally the prefix→AS
+    assignment.
+    """
+    config.validate()
+    if num_slash16 <= 0:
+        raise ValueError("num_slash16 must be positive")
+    n_as = min(config.num_as, num_slash16)
+
+    # Tier split: the first ASes (by index) form the transit clique.
+    n_transit = max(1, int(round(n_as * config.transit_fraction)))
+    n_mid = max(1, int(round(n_as * config.mid_fraction)))
+    n_transit = min(n_transit, n_as)
+    n_mid = min(n_mid, n_as - n_transit)
+    tier = np.full(n_as, TIER_STUB, dtype=np.int8)
+    tier[:n_transit] = TIER_TRANSIT
+    tier[n_transit:n_transit + n_mid] = TIER_MID
+
+    # Provider homing: mids home on transit, stubs home on mids (or on
+    # transit when there is no mid tier).
+    provider = np.full(n_as, -1, dtype=np.int64)
+    mid_idx = np.arange(n_transit, n_transit + n_mid)
+    if mid_idx.size:
+        provider[mid_idx] = rng.integers(0, n_transit, size=mid_idx.size)
+    stub_idx = np.arange(n_transit + n_mid, n_as)
+    if stub_idx.size:
+        home_pool = mid_idx if mid_idx.size else np.arange(n_transit)
+        provider[stub_idx] = rng.choice(home_pool, size=stub_idx.size)
+
+    # Operator posture: tier mean, lognormal per-AS spread, then a pull
+    # toward the provider's posture (top-down so the pull chains).
+    tier_means = np.asarray(config.tier_uncleanliness, dtype=np.float64)
+    base = tier_means[tier] * rng.lognormal(
+        -config.uncleanliness_spread**2 / 2,
+        config.uncleanliness_spread,
+        size=n_as,
+    )
+    if config.provider_mix > 0:
+        for idx in np.concatenate([mid_idx, stub_idx]):
+            base[idx] = (
+                (1.0 - config.provider_mix) * base[idx]
+                + config.provider_mix * base[provider[idx]]
+            )
+    base = np.clip(base, 1e-4, 0.995)
+
+    # Cleanup tempo: same tier-correlated shape.
+    tier_cleanup = np.asarray(config.tier_cleanup_days, dtype=np.float64)
+    cleanup = tier_cleanup[tier] * rng.lognormal(
+        -config.cleanup_spread**2 / 2, config.cleanup_spread, size=n_as
+    )
+    cleanup = np.maximum(cleanup, 0.5)
+
+    # Prefix→AS assignment: Pareto-tailed per-AS weights, every AS gets
+    # at least one prefix (round-robin head), the rest proportionally.
+    weights = rng.pareto(config.prefix_tail, size=n_as) + 1.0
+    as_of_net16 = np.empty(num_slash16, dtype=np.int64)
+    head = min(n_as, num_slash16)
+    as_of_net16[:head] = rng.permutation(n_as)[:head]
+    if num_slash16 > head:
+        probs = weights / weights.sum()
+        as_of_net16[head:] = rng.choice(
+            n_as, size=num_slash16 - head, p=probs
+        )
+
+    return ASTopology(
+        tier=tier,
+        provider=provider,
+        base_uncleanliness=base,
+        cleanup_days=cleanup,
+        as_of_net16=as_of_net16,
+        flat=False,
+    )

@@ -32,6 +32,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.engine.fingerprint import addendum_field
 from repro.sim.internet import SyntheticInternet
 from repro.sim.timeline import Window
 
@@ -73,6 +74,22 @@ class BotnetConfig:
     #: Only has an effect when the simulation is given ``avoided_blocks``.
     evasion_strength: float = 0.0
 
+    #: Attack-wave modulation of the arrival process (Chen et al.,
+    #: "Spatiotemporal patterns and predictability of cyberattacks"):
+    #: daily compromise intensity becomes
+    #: ``1 + wave_amplitude * cos(2*pi*(day - wave_phase_days)/period)``.
+    #: 0.0 keeps the paper's homogeneous Poisson arrivals.  All fields
+    #: below are fingerprint addenda (omitted at default).
+    wave_amplitude: float = addendum_field(default=0.0)
+    wave_period_days: float = addendum_field(default=28.0)
+    wave_phase_days: float = addendum_field(default=0.0)
+
+    #: DHCP/NAT lease length in days for compromises inside dynamic
+    #: pools (InternetConfig.dynamic_fraction): the infected machine
+    #: re-appears under a fresh address in the same /16 every lease
+    #: epoch.  0 disables rebinding.
+    rebind_days: float = addendum_field(default=0.0)
+
     def validate(self) -> None:
         if not 0 <= self.evasion_strength <= 1:
             raise ValueError("evasion_strength must be in [0, 1]")
@@ -80,12 +97,22 @@ class BotnetConfig:
             raise ValueError("horizon_days must be positive")
         if self.daily_compromises <= 0:
             raise ValueError("daily_compromises must be positive")
+        if self.affinity < 0:
+            raise ValueError("affinity must be non-negative")
+        if self.base_duration_days < 0 or self.duration_gain_days < 0:
+            raise ValueError("duration parameters must be non-negative")
         if self.num_channels <= 0:
             raise ValueError("num_channels must be positive")
         for name in ("scanner_fraction", "spammer_fraction"):
             value = getattr(self, name)
             if not 0 <= value <= 1:
                 raise ValueError(f"{name} must be in [0, 1]")
+        if not 0 <= self.wave_amplitude < 1:
+            raise ValueError("wave_amplitude must be in [0, 1)")
+        if self.wave_period_days <= 0:
+            raise ValueError("wave_period_days must be positive")
+        if self.rebind_days < 0:
+            raise ValueError("rebind_days must be non-negative")
 
 
 class BotnetSimulation:
@@ -129,6 +156,21 @@ class BotnetSimulation:
             )
         return weights
 
+    def _draw_start_days(self, total: int, rng: np.random.Generator) -> np.ndarray:
+        """Compromise start days: uniform, or wave-modulated when the
+        attack-wave knobs are set (gated so the default path's draw
+        sequence is untouched)."""
+        cfg = self.config
+        if cfg.wave_amplitude <= 0:
+            return rng.integers(0, cfg.horizon_days, size=total, dtype=np.int64)
+        days = np.arange(cfg.horizon_days, dtype=np.float64)
+        intensity = 1.0 + cfg.wave_amplitude * np.cos(
+            2.0 * np.pi * (days - cfg.wave_phase_days) / cfg.wave_period_days
+        )
+        return rng.choice(
+            cfg.horizon_days, size=total, p=intensity / intensity.sum()
+        ).astype(np.int64)
+
     def _generate(self, rng: np.random.Generator) -> None:
         cfg = self.config
         total = rng.poisson(cfg.daily_compromises * cfg.horizon_days)
@@ -155,16 +197,12 @@ class BotnetSimulation:
             self.address = self.internet.net24[self.network_index] + (
                 self.internet.host_offsets(slots)
             )
-            self.start_day = rng.integers(
-                0, cfg.horizon_days, size=total, dtype=np.int64
-            )
+            self.start_day = self._draw_start_days(total, rng)
             unclean = self.internet.uncleanliness[self.network_index]
         else:
             # Time-varying field: draw start days first, then place each
             # epoch's compromises under that epoch's weights.
-            self.start_day = rng.integers(
-                0, cfg.horizon_days, size=total, dtype=np.int64
-            )
+            self.start_day = self._draw_start_days(total, rng)
             epoch_days = self.dynamics.config.epoch_days
             epochs = self.start_day // epoch_days
             for epoch in np.unique(epochs):
@@ -191,13 +229,36 @@ class BotnetSimulation:
                 self.start_day // epoch_days, self.network_index
             ]
 
-        mean_duration = cfg.base_duration_days + cfg.duration_gain_days * unclean
+        # Operator regime: the announcing AS's cleanup tempo scales the
+        # compromise duration (all ones in the flat world, a bit-exact
+        # multiplication); a mid-window prefix reassignment switches the
+        # uncleanliness + tempo regime for events starting after it.
+        duration_factor = self.internet.duration_factor[self.network_index]
+        if self.dynamics is None and self.internet.reassignment_day >= 0:
+            post = self.start_day >= self.internet.reassignment_day
+            unclean = np.where(
+                post,
+                self.internet.uncleanliness_after[self.network_index],
+                unclean,
+            )
+            duration_factor = np.where(
+                post,
+                self.internet.duration_factor_after[self.network_index],
+                duration_factor,
+            )
+
+        mean_duration = (
+            cfg.base_duration_days + cfg.duration_gain_days * unclean
+        ) * duration_factor
         durations = np.maximum(1, rng.exponential(mean_duration).astype(np.int64))
         self.end_day = np.minimum(self.start_day + durations, cfg.horizon_days - 1)
 
         self.channel = rng.integers(0, cfg.num_channels, size=total, dtype=np.int64)
         self.is_scanner = rng.random(total) < cfg.scanner_fraction
         self.is_spammer = rng.random(total) < cfg.spammer_fraction
+
+        if cfg.rebind_days > 0 and bool(self.internet.dynamic.any()):
+            self._apply_rebinding(rng)
 
         for arr in (
             self.network_index,
@@ -209,6 +270,32 @@ class BotnetSimulation:
             self.is_spammer,
         ):
             arr.setflags(write=False)
+
+    def _apply_rebinding(self, rng: np.random.Generator) -> None:
+        """Split dynamic-pool compromises into DHCP lease segments.
+
+        Each segment is a separate event row carrying a fresh address
+        drawn inside the same /16's occupied pool; channel membership
+        and tasking ride along with the machine, not the address.
+        """
+        from repro.sim.dynamics import rebind_segments
+
+        owners, network_index, address, start_day, end_day = rebind_segments(
+            self.internet,
+            self.network_index,
+            self.address,
+            self.start_day,
+            self.end_day,
+            self.config.rebind_days,
+            rng,
+        )
+        self.network_index = network_index
+        self.address = address
+        self.start_day = start_day
+        self.end_day = end_day
+        self.channel = self.channel[owners]
+        self.is_scanner = self.is_scanner[owners]
+        self.is_spammer = self.is_spammer[owners]
 
     # -- queries ---------------------------------------------------------
 

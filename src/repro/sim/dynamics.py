@@ -27,12 +27,80 @@ The field-stability ablation in :mod:`repro.experiments.ablation` sweeps
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
 from repro.sim.internet import SyntheticInternet
 
-__all__ = ["DynamicsConfig", "UncleanlinessProcess"]
+__all__ = ["DynamicsConfig", "UncleanlinessProcess", "rebind_segments"]
+
+
+def rebind_segments(
+    internet: SyntheticInternet,
+    network_index: np.ndarray,
+    address: np.ndarray,
+    start_day: np.ndarray,
+    end_day: np.ndarray,
+    rebind_days: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split dynamic-pool compromise events into DHCP lease segments.
+
+    Lease epochs of length ``rebind_days`` are anchored at day 0; an
+    event inside a dynamic /16 (``internet.dynamic``) spanning epochs
+    ``k0..k1`` becomes one segment per epoch, clipped to the original
+    interval.  The first segment keeps the original address; every later
+    segment re-draws a live host inside the *same /16's* occupied /24
+    pool — the machine stays compromised, its address moves.  Events in
+    static space pass through as single segments.
+
+    Returns ``(owners, network_index, address, start_day, end_day)``
+    where ``owners`` maps each output segment to its input event (use it
+    to expand per-event columns such as channel or tasking flags).
+
+    Fully vectorised: epoch arithmetic, the segment fan-out and the
+    address re-draws are all flat array operations — no per-event Python
+    loop, so a million-event churn world costs a handful of kernels.
+    """
+    if rebind_days <= 0:
+        raise ValueError("rebind_days must be positive")
+    lease = max(1, int(round(rebind_days)))
+    dynamic = internet.dynamic[network_index]
+
+    k0 = start_day // lease
+    k1 = end_day // lease
+    n_seg = np.where(dynamic, k1 - k0 + 1, 1).astype(np.int64)
+
+    total = int(n_seg.sum())
+    owners = np.repeat(np.arange(network_index.size, dtype=np.int64), n_seg)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(n_seg) - n_seg, n_seg
+    )
+    seg_k = k0[owners] + offsets
+
+    seg_start = np.maximum(start_day[owners], seg_k * lease)
+    seg_end = np.minimum(end_day[owners], (seg_k + 1) * lease - 1)
+
+    seg_net = network_index[owners].copy()
+    seg_addr = address[owners].copy()
+
+    # Later segments of dynamic events re-draw /24 + host slot within
+    # the /16's occupied pool.
+    redraw = (offsets > 0) & dynamic[owners]
+    count = int(redraw.sum())
+    if count:
+        starts16, ends16 = internet.slash16_bounds()
+        net16 = internet.net16_index[network_index[owners[redraw]]]
+        pool = (ends16 - starts16)[net16].astype(np.float64)
+        new_net = starts16[net16] + (rng.random(count) * pool).astype(np.int64)
+        slots = (
+            rng.random(count) * internet.population[new_net].astype(np.float64)
+        ).astype(np.uint32)
+        seg_net[redraw] = new_net
+        seg_addr[redraw] = internet.net24[new_net] + internet.host_offsets(slots)
+
+    return owners, seg_net, seg_addr, seg_start, seg_end
 
 
 @dataclass(frozen=True)

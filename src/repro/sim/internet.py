@@ -21,20 +21,32 @@ Structure follows the paper's modelling assumptions:
   measures, and is heavy-tailed: most networks are mostly clean, a small
   minority are very unclean.
 
+Since the AS-substrate refactor the /16s are themselves announced by a
+two-level autonomous-system topology (:mod:`repro.sim.asys`): with
+:attr:`InternetConfig.asys` set, per-/16 base uncleanliness concentrates
+around the announcing operator's posture and per-/24 compromise
+durations stretch or shrink with the operator's cleanup tempo.  The
+default (``asys=None``) keeps the original flat statistics and is
+**bit-identical** to the pre-AS substrate: the flat topology is built
+without consuming any random draws, and every AS-only knob is gated so
+the flat path's draw sequence never changes.
+
 Everything is generated deterministically from a seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.engine.fingerprint import addendum_field
 from repro.ipspace.addr import as_int
 from repro.ipspace.cidr import CIDRBlock
 from repro.ipspace.iana import allocated_octets
 from repro.ipspace.reserved import reserved_mask
+from repro.sim.asys import ASConfig, ASTopology, flat_topology, generate_topology
 
 __all__ = ["InternetConfig", "SyntheticInternet"]
 
@@ -77,17 +89,56 @@ class InternetConfig:
     #: A /8 stands in for the paper's 20M-address network.
     observed_octet: int = 30
 
+    #: AS-level structure (None = the original flat world).  All four
+    #: fields below are fingerprint addenda: at their defaults they are
+    #: omitted from the canonical form, so pre-AS cache keys stay valid.
+    asys: Optional[ASConfig] = addendum_field(default=None)
+
+    #: Fraction of /16s that are DHCP/NAT dynamic pools (addresses there
+    #: rebind over time; see BotnetConfig.rebind_days).
+    dynamic_fraction: float = addendum_field(default=0.0)
+
+    #: Prefix reassignment event: on ``reassignment_day`` a random
+    #: ``reassignment_fraction`` of /16s moves to a different announcing
+    #: AS and takes on the new operator's uncleanliness and cleanup
+    #: regime for compromises starting after that day.  Requires
+    #: ``asys``; -1 / 0.0 disables.
+    reassignment_day: int = addendum_field(default=-1)
+    reassignment_fraction: float = addendum_field(default=0.0)
+
     def validate(self) -> None:
         if self.num_slash16 <= 0:
             raise ValueError("num_slash16 must be positive")
         if not 0 < self.mean_occupancy <= 1:
             raise ValueError("mean_occupancy must be in (0, 1]")
+        if self.occupancy_sigma < 0:
+            raise ValueError("occupancy_sigma must be non-negative")
+        if self.uncleanliness_alpha <= 0 or self.uncleanliness_beta <= 0:
+            raise ValueError("uncleanliness beta parameters must be positive")
+        if self.uncleanliness_noise < 0:
+            raise ValueError("uncleanliness_noise must be non-negative")
         if not 0 <= self.hosting_fraction <= 1:
             raise ValueError("hosting_fraction must be in [0, 1]")
         if self.mean_hosts < 1:
             raise ValueError("mean_hosts must be at least 1")
         if not 0 <= self.observed_octet <= 255:
             raise ValueError("observed_octet out of range")
+        if self.asys is not None:
+            self.asys.validate()
+        if not 0 <= self.dynamic_fraction <= 1:
+            raise ValueError("dynamic_fraction must be in [0, 1]")
+        if not 0 <= self.reassignment_fraction <= 1:
+            raise ValueError("reassignment_fraction must be in [0, 1]")
+        if self.reassignment_fraction > 0:
+            if self.asys is None:
+                raise ValueError(
+                    "prefix reassignment requires AS structure: set "
+                    "InternetConfig.asys"
+                )
+            if self.reassignment_day < 0:
+                raise ValueError(
+                    "reassignment_fraction > 0 needs reassignment_day >= 0"
+                )
 
 
 class SyntheticInternet:
@@ -115,10 +166,21 @@ class SyntheticInternet:
             (slash16_octets << np.uint32(24)) | (slash16_seconds << np.uint32(16))
         )[: cfg.num_slash16]
 
-        # Per-/16 character: base uncleanliness, occupancy, hosting flag.
-        base_unclean = rng.beta(
-            cfg.uncleanliness_alpha, cfg.uncleanliness_beta, size=slash16.size
-        )
+        # The announcing-AS layer.  The flat topology consumes no draws
+        # (bit-identity of the default world); the AS topology draws its
+        # plan first, then per-/16 base uncleanliness concentrates
+        # around each announcing operator's posture.
+        if cfg.asys is None:
+            self.topology: ASTopology = flat_topology(slash16.size)
+            # Per-/16 character: base uncleanliness, occupancy, hosting.
+            base_unclean = rng.beta(
+                cfg.uncleanliness_alpha, cfg.uncleanliness_beta, size=slash16.size
+            )
+        else:
+            self.topology = generate_topology(cfg.asys, slash16.size, rng)
+            as_mean = self.topology.base_uncleanliness[self.topology.as_of_net16]
+            conc = cfg.asys.concentration
+            base_unclean = rng.beta(conc * as_mean, conc * (1.0 - as_mean))
         occupancy = cfg.mean_occupancy * rng.lognormal(
             -cfg.occupancy_sigma**2 / 2, cfg.occupancy_sigma, size=slash16.size
         )
@@ -158,8 +220,86 @@ class SyntheticInternet:
             self.hosting, self.uncleanliness * 0.25, self.uncleanliness
         )
 
-        for arr in (self.net24, self.uncleanliness, self.population, self.hosting):
+        # -- AS-derived per-/24 fields -----------------------------------
+        # All draws below are gated on non-default config, so the flat
+        # default world's draw sequence ends exactly where it always did.
+        self.slash16 = slash16
+        self.as_of_net24 = self.topology.as_of_net16[self._net16_index]
+        if self.topology.flat:
+            # Multiplying by an all-ones factor is bit-exact (x * 1.0).
+            self.duration_factor = np.ones(self.net24.size, dtype=np.float64)
+        else:
+            per_as = self.topology.duration_factor(cfg.asys.reference_cleanup_days)
+            self.duration_factor = per_as[self.as_of_net24]
+
+        if cfg.dynamic_fraction > 0:
+            dynamic16 = rng.random(slash16.size) < cfg.dynamic_fraction
+        else:
+            dynamic16 = np.zeros(slash16.size, dtype=bool)
+        self.dynamic = dynamic16[self._net16_index]
+
+        if cfg.reassignment_fraction > 0:
+            self._generate_reassignment(rng)
+        else:
+            self.uncleanliness_after = self.uncleanliness
+            self.duration_factor_after = self.duration_factor
+            self.as_of_net24_after = self.as_of_net24
+
+        for arr in (
+            self.net24,
+            self.uncleanliness,
+            self.population,
+            self.hosting,
+            self.slash16,
+            self.as_of_net24,
+            self.duration_factor,
+            self.dynamic,
+            self.uncleanliness_after,
+            self.duration_factor_after,
+            self.as_of_net24_after,
+        ):
             arr.setflags(write=False)
+
+    def _generate_reassignment(self, rng: np.random.Generator) -> None:
+        """Draw the mid-window prefix-reassignment event.
+
+        Affected /16s move to a uniformly-drawn new AS; their /24s'
+        *after* regime (uncleanliness + cleanup tempo) is re-drawn from
+        the new operator's posture exactly the way the original regime
+        was drawn from the old one.
+        """
+        cfg = self.config
+        topo = self.topology
+        n16 = self.slash16.size
+        affected16 = rng.random(n16) < cfg.reassignment_fraction
+        new_as16 = topo.as_of_net16.copy()
+        count = int(affected16.sum())
+        if count:
+            new_as16[affected16] = rng.integers(0, topo.num_as, size=count)
+        self.as_of_net24_after = new_as16[self._net16_index]
+
+        conc = cfg.asys.concentration
+        base16 = np.zeros(n16, dtype=np.float64)
+        if count:
+            mean_new = topo.base_uncleanliness[new_as16[affected16]]
+            base16[affected16] = rng.beta(
+                conc * mean_new, conc * (1.0 - mean_new)
+            )
+        mask24 = affected16[self._net16_index]
+        after = np.array(self.uncleanliness, copy=True)
+        changed = int(mask24.sum())
+        if changed:
+            noise = rng.lognormal(0.0, cfg.uncleanliness_noise, size=changed)
+            values = np.clip(
+                base16[self._net16_index[mask24]] * noise, 0.0, 1.0
+            )
+            after[mask24] = np.where(
+                self.hosting[mask24], values * 0.25, values
+            )
+        self.uncleanliness_after = after
+
+        per_as = topo.duration_factor(cfg.asys.reference_cleanup_days)
+        self.duration_factor_after = per_as[self.as_of_net24_after]
 
     # -- introspection ---------------------------------------------------------
 
@@ -172,6 +312,36 @@ class SyntheticInternet:
     def total_population(self) -> int:
         """Total live hosts across all occupied /24s."""
         return int(self.population.astype(np.int64).sum())
+
+    @property
+    def net16_index(self) -> np.ndarray:
+        """Per-/24 index into :attr:`slash16` (the containing /16)."""
+        return self._net16_index
+
+    @property
+    def num_as(self) -> int:
+        """Number of autonomous systems announcing the occupied space."""
+        return self.topology.num_as
+
+    @property
+    def reassignment_day(self) -> int:
+        """Day the prefix-reassignment event fires, or -1 if none."""
+        if self.config.reassignment_fraction > 0:
+            return self.config.reassignment_day
+        return -1
+
+    def slash16_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Half-open ``[start, end)`` ranges of each /16's /24 rows.
+
+        ``self.net24`` is address-sorted, so every /16's occupied /24s
+        are contiguous; the bounds let kernels (e.g. the DHCP rebind
+        kernel in :mod:`repro.sim.dynamics`) redraw addresses within a
+        /16's occupied pool without per-row Python loops.
+        """
+        lows = self.slash16.astype(np.int64)
+        starts = np.searchsorted(self.net24, lows)
+        ends = np.searchsorted(self.net24, lows + 0x1_0000)
+        return starts, ends
 
     def network_of(self, address: int) -> Optional[int]:
         """Index of the occupied /24 containing ``address``, or None."""

@@ -195,3 +195,49 @@ class TestProfileCommand:
 
     def test_profile_without_reports_fails(self):
         assert main(["profile"]) == 2
+
+
+class TestPacksCommand:
+    def test_packs_lists_registry(self, capsys):
+        from repro.scenarios import BUILTIN_PACK_NAMES
+
+        assert main(["packs"]) == 0
+        out = capsys.readouterr().out
+        for name in BUILTIN_PACK_NAMES:
+            assert name in out
+
+    def test_pack_flag_on_scenario_verb(self, capsys):
+        assert main(["table1", "--small", "--pack", "dhcp-churn"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_pack_flag_changes_manifest_fingerprint(self, capsys):
+        import argparse
+
+        from repro.cli import _scenario_config
+
+        base = argparse.Namespace(small=True, seed=None, pack=None)
+        packed = argparse.Namespace(
+            small=True, seed=None, pack="sinkhole-takedown"
+        )
+        assert (
+            _scenario_config(base).fingerprint()
+            != _scenario_config(packed).fingerprint()
+        )
+
+    def test_identity_pack_keeps_fingerprint(self):
+        import argparse
+
+        from repro.cli import _scenario_config
+
+        base = argparse.Namespace(small=True, seed=None, pack=None)
+        identity = argparse.Namespace(
+            small=True, seed=None, pack="paper-default"
+        )
+        assert (
+            _scenario_config(base).fingerprint()
+            == _scenario_config(identity).fingerprint()
+        )
+
+    def test_unknown_pack_fails_cleanly(self, capsys):
+        assert main(["table1", "--small", "--pack", "no-such-pack"]) == 2
+        assert "no scenario pack" in capsys.readouterr().err

@@ -1,0 +1,144 @@
+"""The config-validation pass: every layer rejects bad values loudly.
+
+One place asserting that each config surfaces a clear ``ValueError``
+from ``validate()`` — and that ``ScenarioConfig.validate()`` sweeps its
+sub-configs — instead of letting bad parameters die as numpy broadcast
+errors deep inside generation.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.scenario import ScenarioConfig
+from repro.flows.generator import TrafficConfig
+from repro.sim.asys import ASConfig
+from repro.sim.botnet import BotnetConfig
+from repro.sim.internet import InternetConfig
+
+
+class TestInternetConfig:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"num_slash16": 0}, "num_slash16"),
+            ({"mean_occupancy": 0.0}, "mean_occupancy"),
+            ({"mean_occupancy": 1.5}, "mean_occupancy"),
+            ({"occupancy_sigma": -0.1}, "occupancy_sigma"),
+            ({"uncleanliness_alpha": 0.0}, "beta parameters"),
+            ({"uncleanliness_beta": -1.0}, "beta parameters"),
+            ({"uncleanliness_noise": -0.1}, "uncleanliness_noise"),
+            ({"hosting_fraction": 1.1}, "hosting_fraction"),
+            ({"mean_hosts": 0.5}, "mean_hosts"),
+            ({"observed_octet": 300}, "observed_octet"),
+            ({"dynamic_fraction": -0.1}, "dynamic_fraction"),
+            ({"dynamic_fraction": 1.5}, "dynamic_fraction"),
+            ({"reassignment_fraction": 2.0}, "reassignment_fraction"),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            InternetConfig(**kwargs).validate()
+
+    def test_reassignment_requires_asys(self):
+        with pytest.raises(ValueError, match="asys"):
+            InternetConfig(
+                reassignment_fraction=0.2, reassignment_day=100
+            ).validate()
+
+    def test_reassignment_requires_day(self):
+        with pytest.raises(ValueError, match="reassignment_day"):
+            InternetConfig(
+                asys=ASConfig(), reassignment_fraction=0.2
+            ).validate()
+
+    def test_bad_asys_surfaces(self):
+        with pytest.raises(ValueError, match="num_as"):
+            InternetConfig(asys=ASConfig(num_as=0)).validate()
+
+    def test_default_valid(self):
+        InternetConfig().validate()
+
+
+class TestBotnetConfig:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"horizon_days": 0}, "horizon_days"),
+            ({"daily_compromises": 0.0}, "daily_compromises"),
+            ({"affinity": -1.0}, "affinity"),
+            ({"base_duration_days": -1.0}, "duration parameters"),
+            ({"duration_gain_days": -1.0}, "duration parameters"),
+            ({"num_channels": 0}, "num_channels"),
+            ({"scanner_fraction": 1.5}, "scanner_fraction"),
+            ({"spammer_fraction": -0.1}, "spammer_fraction"),
+            ({"evasion_strength": 2.0}, "evasion_strength"),
+            ({"wave_amplitude": 1.0}, "wave_amplitude"),
+            ({"wave_amplitude": -0.1}, "wave_amplitude"),
+            ({"wave_period_days": 0.0}, "wave_period_days"),
+            ({"rebind_days": -1.0}, "rebind_days"),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            BotnetConfig(**kwargs).validate()
+
+    def test_default_valid(self):
+        BotnetConfig().validate()
+
+
+class TestTrafficConfig:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"num_servers": 0}, "num_servers"),
+            ({"num_mail_servers": 0}, "num_mail_servers"),
+            ({"suspicious_hosts": -1}, "suspicious_hosts"),
+            ({"scan_participation": 1.5}, "scan_participation"),
+            ({"slow_scanner_fraction": -0.1}, "slow_scanner_fraction"),
+            ({"diurnal_amplitude": 1.0}, "diurnal_amplitude"),
+            ({"diurnal_peak_hour": 24.0}, "diurnal_peak_hour"),
+            ({"diurnal_peak_hour": -1.0}, "diurnal_peak_hour"),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            TrafficConfig(**kwargs).validate()
+
+    def test_default_valid(self):
+        TrafficConfig().validate()
+
+
+class TestScenarioConfigSweep:
+    def test_sweeps_subconfigs(self):
+        # A bad value *inside* a sub-config fails the top-level validate.
+        config = replace(
+            ScenarioConfig(), internet=InternetConfig(num_slash16=0)
+        )
+        with pytest.raises(ValueError, match="num_slash16"):
+            config.validate()
+
+    def test_bad_botnet_surfaces(self):
+        config = replace(
+            ScenarioConfig(), botnet=BotnetConfig(wave_amplitude=1.0)
+        )
+        with pytest.raises(ValueError, match="wave_amplitude"):
+            config.validate()
+
+    def test_stale_flood_needs_dark_day(self):
+        with pytest.raises(ValueError, match="bot_feed_dark_from_day"):
+            replace(ScenarioConfig(), bot_feed_stale_days=30).validate()
+
+    def test_dark_day_within_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            replace(
+                ScenarioConfig(), bot_feed_dark_from_day=100_000
+            ).validate()
+
+    def test_negative_stale_days(self):
+        with pytest.raises(ValueError, match="bot_feed_stale_days"):
+            replace(ScenarioConfig(), bot_feed_stale_days=-1).validate()
+
+    def test_default_and_small_valid(self):
+        ScenarioConfig().validate()
+        ScenarioConfig.small().validate()

@@ -2,10 +2,17 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.ipspace.addr import as_int
 from repro.ipspace.cidr import CIDRBlock
-from repro.ipspace.clusters import PrefixTable, synthesize_table
+from repro.ipspace.clusters import (
+    PrefixTable,
+    as_clustering_summary,
+    synthesize_table,
+    within_group_icc,
+)
 
 
 @pytest.fixture
@@ -113,3 +120,111 @@ class TestSynthesizedTable:
         a = synthesize_table(tiny_internet, np.random.default_rng(9))
         b = synthesize_table(tiny_internet, np.random.default_rng(9))
         assert a.prefixes == b.prefixes
+
+
+class TestWithinGroupICC:
+    def test_perfect_clustering(self):
+        groups = np.repeat(np.arange(8), 20)
+        values = np.repeat(np.linspace(0.0, 1.0, 8), 20)
+        assert within_group_icc(groups, values) == pytest.approx(1.0)
+
+    def test_shuffled_values_near_zero(self):
+        rng = np.random.default_rng(3)
+        groups = np.repeat(np.arange(20), 30)
+        values = rng.normal(size=600)
+        assert abs(within_group_icc(groups, values)) < 0.1
+
+    def test_single_group_degenerate(self):
+        # A one-AS world has no between-group variance to speak of.
+        assert within_group_icc(np.zeros(40), np.arange(40.0)) == 0.0
+
+    def test_all_singletons_degenerate(self):
+        # Every AS announcing one prefix: no within-group variance.
+        assert within_group_icc(np.arange(40), np.arange(40.0)) == 0.0
+
+    def test_constant_values(self):
+        groups = np.repeat(np.arange(4), 10)
+        assert within_group_icc(groups, np.ones(40)) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="align"):
+            within_group_icc(np.arange(4), np.arange(5.0))
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="observation"):
+            within_group_icc(np.asarray([]), np.asarray([]))
+
+    def test_unbalanced_groups(self):
+        # One-member groups mixed with large ones must not crash and
+        # must still detect obvious structure.
+        groups = np.concatenate([np.zeros(50), np.ones(50), [2]])
+        values = np.concatenate(
+            [np.full(50, 0.1), np.full(50, 0.9), [0.5]]
+        ) + np.random.default_rng(0).normal(0, 0.01, 101)
+        assert within_group_icc(groups, values) > 0.9
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=2, max_value=25),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_and_label_invariant(self, n_groups, per_group, seed):
+        rng = np.random.default_rng(seed)
+        groups = np.repeat(np.arange(n_groups), per_group)
+        values = rng.normal(
+            loc=rng.normal(size=n_groups)[groups], scale=0.5
+        )
+        icc = within_group_icc(groups, values)
+        # ICC(1) lives in (-1, 1]; relabelling groups must not move it.
+        assert -1.0 <= icc <= 1.0
+        relabeled = (groups * 7 + 3) % (7 * n_groups)
+        assert within_group_icc(relabeled, values) == pytest.approx(icc)
+
+
+class TestASClusteringSummary:
+    def test_as_world_clusters_within_as_flat_world_does_not(self):
+        from repro.sim.asys import ASConfig
+        from repro.sim.internet import InternetConfig, SyntheticInternet
+
+        flat = SyntheticInternet(
+            InternetConfig(num_slash16=200), np.random.default_rng(7)
+        )
+        structured = SyntheticInternet(
+            InternetConfig(num_slash16=200, asys=ASConfig(num_as=20)),
+            np.random.default_rng(7),
+        )
+        flat_stats = as_clustering_summary(flat)
+        as_stats = as_clustering_summary(structured)
+        # The headline claim: only the AS substrate makes distinct /16s
+        # of one operator resemble each other.
+        assert flat_stats["flat"] == 1.0 and as_stats["flat"] == 0.0
+        assert flat_stats["icc_as16"] == 0.0  # all-singleton grouping
+        assert as_stats["icc_as16"] > 0.15
+        # The paper's /16-level spatial correlation survives in both.
+        assert flat_stats["icc_net16"] > 0.3
+        assert as_stats["icc_net16"] > 0.3
+        # In the flat world, "AS" degenerates to "/16".
+        assert flat_stats["icc_as"] == pytest.approx(
+            flat_stats["icc_net16"]
+        )
+        assert flat_stats["num_as"] == flat_stats["num_net16"]
+        assert as_stats["num_as"] == 20.0
+
+    def test_single_as_world(self):
+        from repro.sim.asys import ASConfig
+        from repro.sim.internet import InternetConfig, SyntheticInternet
+
+        world = SyntheticInternet(
+            InternetConfig(num_slash16=40, asys=ASConfig(num_as=1)),
+            np.random.default_rng(5),
+        )
+        stats = as_clustering_summary(world)
+        assert stats["num_as"] == 1.0
+        assert stats["icc_as"] == 0.0
+        assert stats["icc_as16"] == 0.0
+
+    def test_flat_summary_on_fixture(self, tiny_internet):
+        stats = as_clustering_summary(tiny_internet)
+        assert stats["flat"] == 1.0
+        assert stats["icc_as16"] == 0.0

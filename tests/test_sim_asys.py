@@ -1,0 +1,130 @@
+"""Unit tests for the autonomous-system layer (repro.sim.asys)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.asys import (
+    ASConfig,
+    TIER_MID,
+    TIER_STUB,
+    TIER_TRANSIT,
+    flat_topology,
+    generate_topology,
+)
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return generate_topology(ASConfig(), 400, np.random.default_rng(11))
+
+
+class TestFlatTopology:
+    def test_one_stub_per_prefix(self):
+        topo = flat_topology(40)
+        assert topo.flat
+        assert topo.num_as == topo.num_prefixes == 40
+        assert np.array_equal(topo.as_of_net16, np.arange(40))
+        assert (topo.tier == TIER_STUB).all()
+        assert (topo.provider == -1).all()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            flat_topology(0)
+
+    def test_arrays_read_only(self):
+        topo = flat_topology(8)
+        with pytest.raises(ValueError):
+            topo.as_of_net16[0] = 3
+
+
+class TestGenerateTopology:
+    def test_every_as_announces_at_least_one_prefix(self, topology):
+        counts = np.bincount(topology.as_of_net16, minlength=topology.num_as)
+        assert (counts >= 1).all()
+        assert counts.sum() == topology.num_prefixes == 400
+
+    def test_prefix_counts_heavy_tailed(self, topology):
+        counts = np.bincount(topology.as_of_net16, minlength=topology.num_as)
+        # A handful of hypergiants announce far more than the median AS.
+        assert counts.max() >= 5 * np.median(counts)
+
+    def test_tier_structure(self, topology):
+        tiers = topology.tier
+        assert (tiers[:1] == TIER_TRANSIT).any()
+        assert {TIER_TRANSIT, TIER_MID, TIER_STUB} == set(np.unique(tiers))
+        # Transit has no provider; everyone else homes on a higher tier.
+        transit = tiers == TIER_TRANSIT
+        assert (topology.provider[transit] == -1).all()
+        homed = topology.provider[~transit]
+        assert (homed >= 0).all()
+        assert (tiers[homed] < tiers[~transit]).all()
+
+    def test_tier_correlated_posture(self):
+        topo = generate_topology(
+            ASConfig(num_as=200), 600, np.random.default_rng(5)
+        )
+        unclean_by_tier = [
+            topo.base_uncleanliness[topo.tier == t].mean()
+            for t in (TIER_TRANSIT, TIER_MID, TIER_STUB)
+        ]
+        cleanup_by_tier = [
+            topo.cleanup_days[topo.tier == t].mean()
+            for t in (TIER_TRANSIT, TIER_MID, TIER_STUB)
+        ]
+        # Stubs are dirtier and slower to clean up than the transit core.
+        assert unclean_by_tier[0] < unclean_by_tier[2]
+        assert cleanup_by_tier[0] < cleanup_by_tier[2]
+
+    def test_duration_factor_reference(self, topology):
+        factor = topology.duration_factor(ASConfig().reference_cleanup_days)
+        assert factor.shape == (topology.num_as,)
+        assert (factor > 0).all()
+        np.testing.assert_allclose(
+            factor * ASConfig().reference_cleanup_days, topology.cleanup_days
+        )
+
+    def test_prefixes_of_roundtrip(self, topology):
+        some_as = int(topology.as_of_net16[0])
+        members = topology.prefixes_of(some_as)
+        assert 0 in members
+        assert (topology.as_of_net16[members] == some_as).all()
+
+    def test_more_as_than_prefixes_clamped(self):
+        topo = generate_topology(
+            ASConfig(num_as=500), 30, np.random.default_rng(2)
+        )
+        assert topo.num_as == 30
+        counts = np.bincount(topo.as_of_net16, minlength=topo.num_as)
+        assert (counts == 1).all()
+
+    def test_deterministic(self):
+        a = generate_topology(ASConfig(), 120, np.random.default_rng(77))
+        b = generate_topology(ASConfig(), 120, np.random.default_rng(77))
+        assert np.array_equal(a.as_of_net16, b.as_of_net16)
+        assert np.array_equal(a.base_uncleanliness, b.base_uncleanliness)
+
+
+class TestASConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_as": 0},
+            {"transit_fraction": -0.1},
+            {"transit_fraction": 0.7, "mid_fraction": 0.5},
+            {"prefix_tail": 0.0},
+            {"tier_uncleanliness": (0.1, 0.2)},
+            {"tier_uncleanliness": (0.0, 0.1, 0.2)},
+            {"uncleanliness_spread": -1.0},
+            {"provider_mix": 1.5},
+            {"tier_cleanup_days": (4.0, -1.0, 30.0)},
+            {"cleanup_spread": -0.5},
+            {"reference_cleanup_days": 0.0},
+            {"concentration": 0.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ASConfig(**kwargs).validate()
+
+    def test_default_valid(self):
+        ASConfig().validate()
